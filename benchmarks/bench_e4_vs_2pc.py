@@ -1,0 +1,209 @@
+"""E4 — single-multicast AGS vs two-phase-commit transactions.
+
+The paper's central efficiency claim (abstract + Sec. 6): FT-Linda's
+"strategy allows an efficient implementation in which only a single
+multicast message is needed for each atomic collection of tuple space
+operations", whereas transaction-style designs (PLinda, Xu–Liskov) are
+"expensive, requiring multiple rounds of message passing between the
+processors hosting replicas" and "all the designs discussed in this
+section require multiple messages to update the TS replicas."
+
+Both systems run the same atomic fetch-and-increment workload over the
+same simulated 10 Mb Ethernet and the same CPU cost model; we compare
+
+- **frames per committed update** (wire messages),
+- **latency per update** (virtual ms),
+- behavior under **contention** (concurrent clients on one variable),
+
+sweeping the replica count.  Expected shape: FT-Linda stays at ~2 frames
+(REQ + ORD broadcast; 1 when the client sits on the sequencer) and flat
+latency; 2PC needs ~N+1 frames, latency grows with N, and contention
+multiplies its cost through aborts/retries while FT-Linda's total order
+serializes contended updates with zero aborts.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import TwoPhaseCluster, TwoPhaseConfig
+from repro.bench import Table, save_table
+from repro.bench.workloads import incr_statement, make_cluster, mean
+from repro.core.tuples import Pattern, formal
+
+N_UPDATES = 30
+
+
+# --------------------------------------------------------------------------- #
+# drivers
+# --------------------------------------------------------------------------- #
+
+
+def ftlinda_run(n_hosts: int, n_clients: int, seed: int) -> dict:
+    cluster = make_cluster(n_hosts, seed=seed)
+    done = []
+
+    def init(view):
+        yield view.out(view.main_ts, "count", 0)
+
+    p = cluster.spawn(0, init)
+    cluster.run_until(p.finished, limit=60_000_000.0)
+    frames0 = cluster.segment.stats.frames
+    t_start = cluster.sim.now
+    lat: list[float] = []
+
+    def client(view):
+        for _ in range(N_UPDATES):
+            t0 = view.sim.now
+            yield view.execute(incr_statement(view.main_ts))
+            lat.append(view.sim.now - t0)
+        done.append(1)
+
+    procs = [
+        cluster.spawn((i + 1) % n_hosts, client) for i in range(n_clients)
+    ]
+    cluster.run_until_all(procs, limit=600_000_000.0)
+    total = n_clients * N_UPDATES
+    final = cluster.replica(0).space_tuples(cluster.main_ts)
+    assert ("count", total) in final, "lost updates in FT-Linda?!"
+    return {
+        "frames_per_update": (cluster.segment.stats.frames - frames0) / total,
+        "latency_us": mean(lat),
+        "elapsed_us": cluster.sim.now - t_start,
+        "aborts": 0,
+    }
+
+
+def twopc_run(n_hosts: int, n_clients: int, seed: int) -> dict:
+    cluster = TwoPhaseCluster(TwoPhaseConfig(n_hosts=n_hosts, seed=seed))
+    cluster.seed_tuple("count", 0)
+    frames0 = cluster.segment.stats.frames
+    t_start = cluster.sim.now
+    lat: list[float] = []
+    pattern = [Pattern(("count", formal(int, "v")))]
+
+    def puts(bindings):
+        return [("count", bindings[0]["v"] + 1)]
+
+    # issue updates client-by-client but concurrently across clients:
+    # client c runs its updates back to back, all clients in parallel
+    pending = []
+    for c in range(n_clients):
+        host = (c + 1) % n_hosts
+        pending.append((host, N_UPDATES))
+
+    def launch(host: int, remaining: int, started_at: float) -> None:
+        ev = cluster.update(host, pattern, puts)
+
+        def on_done(_t, host=host, remaining=remaining, started_at=started_at):
+            lat.append(cluster.sim.now - started_at)
+            if remaining > 1:
+                launch(host, remaining - 1, cluster.sim.now)
+
+        ev.add_waiter(on_done)
+
+    for host, n in pending:
+        launch(host, n, cluster.sim.now)
+    total = n_clients * N_UPDATES
+    # run until all committed
+    limit = cluster.sim.now + 600_000_000.0
+    while cluster.stats.commits < total:
+        if cluster.sim.now > limit or not cluster.sim.step():
+            raise RuntimeError(
+                f"2PC run stalled at {cluster.stats.commits}/{total}"
+            )
+    # let the final COMMIT broadcast reach every participant before reading
+    cluster.sim.run(until=cluster.sim.now + 100_000)
+    m = cluster.store_of(0).find(
+        Pattern(("count", formal(int, "v"))), remove=False
+    )
+    assert m.binding["v"] == total
+    assert cluster.converged()
+    return {
+        "frames_per_update": (cluster.segment.stats.frames - frames0) / total,
+        "latency_us": mean(lat),
+        "elapsed_us": cluster.sim.now - t_start,
+        "aborts": cluster.stats.aborts,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# the experiment
+# --------------------------------------------------------------------------- #
+
+
+def test_e4_uncontended_sweep(benchmark):
+    def run():
+        table = Table(
+            "E4: atomic update cost, FT-Linda AGS vs 2PC transactions "
+            "(1 client, virtual time)",
+            ["replicas", "system", "frames/update", "latency ms", "aborts"],
+        )
+        results = {}
+        for n in (2, 3, 4, 6, 8):
+            ft = ftlinda_run(n, 1, seed=n)
+            pc = twopc_run(n, 1, seed=n)
+            results[n] = (ft, pc)
+            table.add(n, "FT-Linda", ft["frames_per_update"],
+                      ft["latency_us"] / 1000.0, ft["aborts"])
+            table.add(n, "2PC", pc["frames_per_update"],
+                      pc["latency_us"] / 1000.0, pc["aborts"])
+        table.note(
+            "paper claim: one multicast per AGS vs 'multiple rounds of "
+            "message passing' for commit protocols"
+        )
+        save_table(table, "e4_vs_2pc_uncontended")
+        # figure-shaped artifact: the latency crossover
+        from repro.bench.figures import ascii_chart, save_chart
+
+        ns = sorted(results)
+        chart = ascii_chart(
+            "Figure E4: atomic-update latency vs replica count",
+            ns,
+            {
+                "FT-Linda": [results[n][0]["latency_us"] / 1000.0 for n in ns],
+                "2PC": [results[n][1]["latency_us"] / 1000.0 for n in ns],
+            },
+            x_label="replicas",
+            y_label="latency (virtual ms)",
+        )
+        save_chart(chart, "fig_e4_crossover")
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for n, (ft, pc) in results.items():
+        # FT-Linda: REQ + ORD = 2 frames regardless of N
+        assert ft["frames_per_update"] <= 2.01
+        # 2PC: prepare bcast + (N-1) votes + commit bcast ≈ N+1 frames
+        assert pc["frames_per_update"] >= n
+        assert pc["frames_per_update"] > ft["frames_per_update"]
+    # crossover/growth: the gap widens with N
+    gap2 = results[2][1]["frames_per_update"] - results[2][0]["frames_per_update"]
+    gap8 = results[8][1]["frames_per_update"] - results[8][0]["frames_per_update"]
+    assert gap8 > gap2
+
+
+def test_e4_contended(benchmark):
+    def run():
+        table = Table(
+            "E4b: contended atomic updates, 3 replicas, 3 concurrent clients",
+            ["system", "frames/update", "mean latency ms", "aborts",
+             "total elapsed ms"],
+        )
+        ft = ftlinda_run(3, 3, seed=42)
+        pc = twopc_run(3, 3, seed=42)
+        table.add("FT-Linda", ft["frames_per_update"],
+                  ft["latency_us"] / 1000.0, ft["aborts"],
+                  ft["elapsed_us"] / 1000.0)
+        table.add("2PC", pc["frames_per_update"],
+                  pc["latency_us"] / 1000.0, pc["aborts"],
+                  pc["elapsed_us"] / 1000.0)
+        table.note(
+            "the total order serializes contended updates for free; locks "
+            "abort and retry"
+        )
+        save_table(table, "e4_vs_2pc_contended")
+        return ft, pc
+
+    ft, pc = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ft["aborts"] == 0
+    assert pc["aborts"] > 0
+    assert pc["elapsed_us"] > ft["elapsed_us"]

@@ -1,0 +1,77 @@
+"""E5 / Figure 17 — RPC forwarding to a tuple server.
+
+Figure 17 of the paper shows the configuration for hosts that carry no TS
+replica: "rather than requests being submitted to Consul directly from the
+FT-Linda library, a remote procedure call (RPC) would be used to forward
+the request to a request handler process on a tuple server.  This handler
+immediately submits it to Consul's multicast service as before."
+
+We measure end-to-end AGS latency from (a) a process on a replica host
+(direct submission) and (b) a process on a replica-less client host (RPC
+forwarding), over the same cluster.
+
+Shape claims:
+
+- the RPC configuration adds roughly one request/reply round trip plus
+  two CPU service times on top of the direct path;
+- the overhead is additive, not multiplicative: bigger AGS bodies do not
+  widen the *relative* gap much.
+"""
+
+from __future__ import annotations
+
+from repro.bench import Table, save_table
+from repro.bench.workloads import ags_latency_samples, make_cluster, mean
+from repro.core.ags import AGS, Op
+
+N_SAMPLES = 30
+
+
+def latency(n_hosts: int, host: int, n_ops: int, seed: int, n_clients: int = 0):
+    cluster = make_cluster(
+        n_hosts, n_clients=n_clients, seed=seed, jitter_us=150.0
+    )
+    samples = ags_latency_samples(
+        cluster,
+        host,
+        lambda ts: AGS.atomic(*[Op.out(ts, "t", i) for i in range(n_ops)]),
+        N_SAMPLES,
+    )
+    return mean(samples)
+
+
+def test_e5_rpc_vs_direct(benchmark):
+    def run():
+        table = Table(
+            "E5 (Figure 17): AGS latency, direct vs RPC-forwarded "
+            "(3 replicas, virtual ms)",
+            ["ops in body", "direct@server ms", "direct@other ms",
+             "via RPC ms", "RPC overhead ms"],
+        )
+        rows = {}
+        for n_ops in (1, 4, 16):
+            # host 3 is the replica-less client; its tuple server is
+            # replica 0 (which is also the sequencer)
+            at_server = latency(3, 0, n_ops, seed=n_ops) / 1000.0
+            at_other = latency(3, 2, n_ops, seed=n_ops) / 1000.0
+            rpc = latency(3, 3, n_ops, seed=n_ops, n_clients=1) / 1000.0
+            rows[n_ops] = (at_server, at_other, rpc)
+            table.add(n_ops, at_server, at_other, rpc, rpc - at_server)
+        table.note(
+            "the honest pair is RPC vs direct@server: the RPC client's "
+            "requests execute on the server host, plus one request/reply "
+            "round trip + handler CPU"
+        )
+        save_table(table, "e5_rpc_variant")
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for n_ops, (at_server, at_other, rpc) in rows.items():
+        assert rpc > at_server  # forwarding adds a round trip over direct
+        # the overhead is a bounded additive hop (request + reply + two CPU
+        # service times), a handful of milliseconds at workstation costs
+        assert 0.5 < rpc - at_server < 8.0
+    # additive, not multiplicative: absolute overhead roughly constant
+    o1 = rows[1][2] - rows[1][0]
+    o16 = rows[16][2] - rows[16][0]
+    assert o16 < o1 * 2.5

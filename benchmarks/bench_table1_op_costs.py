@@ -1,0 +1,174 @@
+"""E1 / Table 1 — single-processor cost of tuple-space operations.
+
+The paper's Table 1 measures "only the overhead of tuple processing on a
+single processor": the base cost of processing an AGS plus "the marginal
+cost of including different types of in or out operations in the body",
+on two CPUs (Sun-3/60 and i386).  We reproduce the same structure on this
+host: a base (empty ``true =>``) statement, then statements adding one
+operation of each type, reporting total and marginal microseconds.
+
+Shape expectations (what should hold even though the absolute numbers are
+this machine's, not a 1993 workstation's):
+
+- the base AGS cost dominates; each additional op costs a fraction of it;
+- ``out`` is the cheapest op; matching ops cost more;
+- matching with typed formals ≈ matching with all actuals (both are one
+  indexed bucket probe); untyped formals cost more (bucket scan);
+- a failing ``inp`` costs no more than a succeeding one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AGS, Guard, LocalRuntime, Op, formal, ref
+from repro.bench import Table, save_table
+from repro.core.spaces import MAIN_TS
+
+ROUNDS = 300
+INNER = 20
+
+
+def _bench_stmt(benchmark, make_runtime, stmt, *, refill=None):
+    """Measure executing *stmt* INNER times per round on a fresh runtime."""
+
+    def setup():
+        rt = make_runtime()
+        return (rt,), {}
+
+    def run(rt):
+        ex = rt.execute
+        for _ in range(INNER):
+            ex(stmt)
+            if refill is not None:
+                refill(rt)
+
+    benchmark.pedantic(run, setup=setup, rounds=ROUNDS, warmup_rounds=5)
+    # per-statement microseconds (each round executes INNER statements,
+    # plus INNER refills we deliberately do not subtract here — refill
+    # variants are compared against a refill-including baseline below)
+    return benchmark.stats.stats.mean * 1e6 / INNER
+
+
+def _fresh(seed_tuples=0):
+    def make():
+        rt = LocalRuntime()
+        for i in range(seed_tuples):
+            rt.out(MAIN_TS, "seed", i)
+        return rt
+
+    return make
+
+
+class TestTable1:
+    """Each test measures one Table-1 row; the report test assembles it."""
+
+    results: dict[str, float] = {}
+
+    def test_base_null_ags(self, benchmark):
+        stmt = AGS.single(Guard.true(), [])
+        self.results["base <true => >"] = _bench_stmt(benchmark, _fresh(), stmt)
+
+    def test_out_three_fields(self, benchmark):
+        stmt = AGS.atomic(Op.out(MAIN_TS, "chan", 1, 2.0))
+        self.results["+ out(3 fields)"] = _bench_stmt(benchmark, _fresh(), stmt)
+
+    def test_in_all_actuals(self, benchmark):
+        stmt = AGS.single(Guard.in_(MAIN_TS, "seed", 0), [Op.out(MAIN_TS, "seed", 0)])
+        self.results["+ in(actuals)+out"] = _bench_stmt(
+            benchmark, _fresh(seed_tuples=1), stmt
+        )
+
+    def test_in_typed_formal(self, benchmark):
+        stmt = AGS.single(
+            Guard.in_(MAIN_TS, "seed", formal(int, "v")),
+            [Op.out(MAIN_TS, "seed", ref("v"))],
+        )
+        self.results["+ in(?typed)+out"] = _bench_stmt(
+            benchmark, _fresh(seed_tuples=1), stmt
+        )
+
+    def test_in_untyped_formal(self, benchmark):
+        stmt = AGS.single(
+            Guard.in_(MAIN_TS, "seed", formal(object, "v")),
+            [Op.out(MAIN_TS, "seed", ref("v"))],
+        )
+        self.results["+ in(?untyped)+out"] = _bench_stmt(
+            benchmark, _fresh(seed_tuples=1), stmt
+        )
+
+    def test_rd_typed_formal(self, benchmark):
+        stmt = AGS.single(Guard.rd(MAIN_TS, "seed", formal(int)), [])
+        self.results["+ rd(?typed)"] = _bench_stmt(
+            benchmark, _fresh(seed_tuples=1), stmt
+        )
+
+    def test_inp_hit(self, benchmark):
+        stmt = AGS.single(
+            Guard.inp(MAIN_TS, "seed", formal(int, "v")),
+            [Op.out(MAIN_TS, "seed", ref("v"))],
+        )
+        self.results["+ inp(hit)+out"] = _bench_stmt(
+            benchmark, _fresh(seed_tuples=1), stmt
+        )
+
+    def test_inp_miss(self, benchmark):
+        stmt = AGS.single(Guard.inp(MAIN_TS, "absent", formal(int)), [])
+        self.results["+ inp(miss)"] = _bench_stmt(
+            benchmark, _fresh(seed_tuples=1), stmt
+        )
+
+    def test_move_ten_tuples(self, benchmark):
+        def make():
+            rt = LocalRuntime()
+            rt._aux = rt.create_space("aux")  # type: ignore[attr-defined]
+            for i in range(10):
+                rt.out(MAIN_TS, "mv", i)
+            return rt
+
+        def run(rt):
+            aux = rt._aux  # type: ignore[attr-defined]
+            for _ in range(INNER // 2):
+                rt.execute(AGS.atomic(Op.move(MAIN_TS, aux, "mv", formal(int))))
+                rt.execute(AGS.atomic(Op.move(aux, MAIN_TS, "mv", formal(int))))
+
+        benchmark.pedantic(
+            run, setup=lambda: ((make(),), {}), rounds=ROUNDS, warmup_rounds=5
+        )
+        self.results["+ move(10 tuples)"] = (
+            benchmark.stats.stats.mean * 1e6 / INNER
+        )
+
+    def test_six_op_body(self, benchmark):
+        body = [Op.out(MAIN_TS, "b", i) for i in range(5)]
+        body.append(Op.in_(MAIN_TS, "b", formal(int)))
+        stmt = AGS.single(Guard.true(), body)
+        self.results["6-op body"] = _bench_stmt(benchmark, _fresh(), stmt)
+
+    def test_report(self, benchmark):
+        """Assemble the Table-1-shaped report from the measured rows."""
+        benchmark.pedantic(lambda: None, rounds=1)  # keep --benchmark-only happy
+        if not self.results:
+            pytest.skip("benchmark rows did not run")
+        base = self.results.get("base <true => >")
+        table = Table(
+            "Table 1 (E1): FT-Linda TS operation costs, single processor "
+            "(this host)",
+            ["statement", "total us", "marginal us vs base"],
+        )
+        for label, us in self.results.items():
+            marginal = "" if base is None or label.startswith("base") else us - base
+            table.add(label, us, marginal)
+        table.note(
+            "paper: Sun-3/60 and i386 columns; shape to compare: base cost "
+            "dominates, out cheapest, matching ops moderate, untyped "
+            "formals > typed formals, inp miss <= inp hit"
+        )
+        save_table(table, "table1_op_costs")
+        # shape assertions
+        if base is not None:
+            assert self.results["+ out(3 fields)"] < self.results["+ in(?typed)+out"]
+            assert (
+                self.results["+ in(?typed)+out"]
+                <= self.results["+ in(?untyped)+out"] * 1.25
+            )

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Fault-tolerant bag-of-tasks: workers crash, no work is lost.
+
+The paper's flagship paradigm (Sec. 4).  Four workers pull matrix-row
+"subtasks" from the bag; two of them crash mid-task.  In FT-Linda mode
+the in-progress tuples plus the failure monitor recycle the lost
+subtasks; in classic mode the same crashes silently lose work.
+
+Run:  python examples/ft_bag_of_tasks.py
+"""
+
+from repro import LocalRuntime
+from repro.baselines import PlainLindaRuntime
+from repro.paradigms import run_bag_of_tasks
+
+
+def dot_row(row_id: int) -> int:
+    """Pretend each task is one row of a matrix-vector product."""
+    vec = list(range(64))
+    row = [(row_id * 31 + j) % 17 for j in range(64)]
+    return sum(a * b for a, b in zip(row, vec))
+
+
+def main() -> None:
+    tasks = list(range(16))
+    crashes = {0: 1, 1: 2}  # workers 0 and 1 die after 1 and 2 tasks
+
+    print("=== FT-Linda: in-progress tuples + failure monitor ===")
+    report = run_bag_of_tasks(
+        LocalRuntime(), tasks, n_workers=4, compute=dot_row,
+        ft=True, crash_workers=crashes,
+    )
+    print(f"completed {len(report['results'])}/{len(tasks)} tasks, "
+          f"lost {report['lost']}, recycled {report['recycled']} "
+          "crashed workers' state")
+    assert report["lost"] == 0
+
+    print()
+    print("=== classic Linda: same crashes, no recovery ===")
+    report = run_bag_of_tasks(
+        PlainLindaRuntime(), tasks, n_workers=4, compute=dot_row,
+        ft=False, crash_workers=crashes, collect_timeout=3.0,
+    )
+    print(f"completed {len(report['results'])}/{len(tasks)} tasks, "
+          f"lost {report['lost']} — the crashed workers took their "
+          "subtasks with them")
+    assert report["lost"] == len(crashes)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: tuple spaces, the classic Linda ops, and FT-Linda's AGS.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AGS,
+    Guard,
+    LocalRuntime,
+    Op,
+    Resilience,
+    formal,
+    ref,
+)
+from repro.lcc import compile_ags
+
+
+def main() -> None:
+    rt = LocalRuntime()
+    ts = rt.main_ts  # the default shared, stable tuple space
+
+    # -- classic Linda: out / in / rd / inp ----------------------------- #
+    rt.out(ts, "greeting", "hello", 42)
+    tup = rt.rd(ts, "greeting", formal(str), formal(int))  # read, keep
+    print("rd  ->", tup)
+    tup = rt.in_(ts, "greeting", formal(str), formal(int))  # withdraw
+    print("in  ->", tup)
+    print("inp ->", rt.inp(ts, "greeting", formal(str), formal(int)))  # None
+
+    # -- eval: processes coordinating through tuple space ---------------- #
+    def producer(proc, n):
+        for i in range(n):
+            proc.out(ts, "item", i)
+
+    def consumer(proc, n):
+        return sum(proc.in_(ts, "item", formal(int))[1] for _ in range(n))
+
+    rt.eval_(producer, 5)
+    total = rt.eval_(consumer, 5).join(timeout=10)
+    print("consumer summed:", total)
+
+    # -- FT-Linda: the atomic guarded statement --------------------------- #
+    # fetch-and-increment with NO window for failures or races between
+    # the withdraw and the redeposit:
+    rt.out(ts, "count", 0)
+    incr = AGS.single(
+        Guard.in_(ts, "count", formal(int, "old")),
+        [Op.out(ts, "count", ref("old") + 1)],
+    )
+    for _ in range(3):
+        result = rt.execute(incr)
+        print("incremented from", result["old"])
+    print("count is now", rt.rd(ts, "count", formal(int))[1])
+
+    # -- the same statement, compiled from FT-lcc text --------------------- #
+    stmt = compile_ags(
+        '< in(main, "count", ?old:int) => out(main, "count", old * 10) >',
+        {"main": ts},
+    )
+    rt.execute(stmt)
+    print("after textual AGS:", rt.rd(ts, "count", formal(int))[1])
+
+    # -- disjunction: take a job if any, otherwise record idleness ---------- #
+    poll = compile_ags(
+        '< inp(main, "job", ?j:int) => out(main, "taken", j)'
+        "  or true => out(main, \"idle\", 1) >",
+        {"main": ts},
+    )
+    r = rt.execute(poll)
+    print("no job, branch fired:", r.fired)  # 1 = the idle branch
+
+    # -- multiple tuple spaces and atomic move ------------------------------ #
+    scratch = rt.create_space("scratch", Resilience.VOLATILE)
+    for i in range(4):
+        rt.out(ts, "work", i)
+    rt.move(ts, scratch, "work", formal(int))  # all four, atomically
+    print("moved to scratch:", rt.space_size(scratch), "tuples")
+
+
+if __name__ == "__main__":
+    main()

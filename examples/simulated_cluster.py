@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""A simulated network of FT-Linda workstations: crash, takeover, rejoin.
+
+Reproduces the paper's deployment — replicated stable tuple space over
+Consul's atomic multicast on a 10 Mb Ethernet — as a deterministic
+discrete-event simulation, then walks through the full failure lifecycle:
+
+1. three replicas serve atomic increments from all hosts;
+2. the *sequencer* host crashes mid-stream; the next host takes over the
+   total order; the failure tuple appears in tuple space;
+3. the crashed host restarts, multicasts RESTART, rejoins the view and
+   receives a state snapshot;
+4. all three replicas are bit-identical again.
+
+Run:  python examples/simulated_cluster.py
+"""
+
+from repro import AGS, FAILURE_TAG, Guard, Op, formal, ref
+from repro.consul import ClusterConfig, SimCluster
+
+LIMIT = 120_000_000.0  # virtual microseconds
+
+
+def main() -> None:
+    cluster = SimCluster(ClusterConfig(n_hosts=3, seed=2026))
+    ms = lambda: f"t={cluster.sim.now / 1000:8.1f}ms"
+
+    def init(view):
+        yield view.out(view.main_ts, "count", 0)
+
+    def incr(view, times):
+        stmt = AGS.single(
+            Guard.in_(view.main_ts, "count", formal(int, "v")),
+            [Op.out(view.main_ts, "count", ref("v") + 1)],
+        )
+        for _ in range(times):
+            yield view.execute(stmt)
+
+    p = cluster.spawn(0, init)
+    cluster.run_until(p.finished, limit=LIMIT)
+    print(f"{ms()}  counter initialized; sequencer is host 0")
+
+    # increments from every host, concurrently
+    procs = [cluster.spawn(h, incr, 5) for h in range(3)]
+    cluster.run(until=cluster.sim.now + 20_000)
+
+    print(f"{ms()}  crashing host 0 (the sequencer) mid-stream")
+    cluster.crash(0)
+    cluster.run_until_all(procs[1:], limit=LIMIT)
+    cluster.settle(2_000_000)
+    print(f"{ms()}  host 1 took over the total order; "
+          f"view is now {sorted(cluster.membership(1).view)}")
+
+    def read_failure(view):
+        t = yield view.rd(view.main_ts, FAILURE_TAG, formal(int))
+        return t
+
+    p = cluster.spawn(1, read_failure)
+    cluster.run_until(p.finished, limit=LIMIT)
+    print(f"{ms()}  failure tuple deposited: {p.finished.value}")
+
+    print(f"{ms()}  restarting host 0 ...")
+    cluster.recover(0)
+    r0 = cluster.replica(0)
+    cluster.run_until(r0.recovered_event, limit=LIMIT)
+    print(f"{ms()}  host 0 rejoined and installed the state snapshot")
+
+    cluster.settle(2_000_000)
+    prints = [cluster.replica(h).stable_fingerprint() for h in range(3)]
+    counts = [t for t in cluster.replica(0).space_tuples(cluster.main_ts)
+              if t[0] == "count"]
+    print(f"{ms()}  replica fingerprints identical: {len(set(prints)) == 1}")
+    print(f"{ms()}  counter value on the recovered replica: {counts[0][1]} "
+          "(host 0's in-flight increments were re-submitted or completed "
+          "before the crash; hosts 1 and 2 completed all of theirs)")
+    stats = cluster.segment.stats.snapshot()
+    print(f"{ms()}  wire totals: {stats['frames']} frames, "
+          f"{stats['broadcast_frames']} broadcasts, {stats['bytes']} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+# The FT bag-of-tasks worker as an FT-lcc program (see Sec. 5.2).
+#
+# Spaces: the task bag, the per-computation in-progress space, results.
+space bag     stable shared
+space prog    stable shared
+space results stable shared
+
+# Atomically take a subtask and record it in progress.
+stmt take =
+    < in(bag, "task", ?t:int) => out(prog, "task", t) >
+
+# Retire the in-progress record and deposit the result, indivisibly.
+stmt finish(t, r) =
+    < in(prog, "task", t) => out(results, "result", t, r) >
+
+# Non-blocking poll: grab a task if any, otherwise report idleness.
+stmt poll =
+    < inp(bag, "task", ?t:int) => out(prog, "task", t)
+      or true => out(results, "idle", 1) >
+
+# Recycle a crashed worker's in-progress subtasks (the monitor's move).
+stmt recycle =
+    < true => move(prog, bag, "task", ?:int) >

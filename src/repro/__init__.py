@@ -1,0 +1,106 @@
+"""FT-Linda — fault-tolerant tuple-space coordination for Python.
+
+A reproduction of *"Supporting Fault-Tolerant Parallel Programming in
+Linda"* (Bakken & Schlichting, University of Arizona TR 93-18), which
+extends the classic Linda coordination model (Gelernter) with **stable
+tuple spaces** and **atomic guarded statements (AGS)**.
+
+Quickstart::
+
+    from repro import LocalRuntime, formal, AGS, Guard, Op, ref
+
+    rt = LocalRuntime()
+    ts = rt.main_ts
+    rt.out(ts, "count", 0)
+
+    # classic Linda
+    t = rt.in_(ts, "count", formal(int))     # -> ("count", 0)
+
+    # FT-Linda: atomic fetch-and-increment, immune to failures in between
+    rt.out(ts, "count", 0)
+    rt.execute(AGS.single(
+        Guard.in_(ts, "count", formal(int, "old")),
+        [Op.out(ts, "count", ref("old") + 1)],
+    ))
+
+Distributed, failure-injecting backends live in :mod:`repro.consul`
+(simulated network of replicas) and :mod:`repro.parallel` (threads /
+multiprocessing).  The textual FT-lcc front end is :mod:`repro.lcc`.
+"""
+
+from repro._errors import (
+    AGSError,
+    CompileError,
+    FormalBindingError,
+    HostFailedError,
+    LindaError,
+    MatchTypeError,
+    NotDeterministicError,
+    RuntimeFailure,
+    ScopeError,
+    SpaceError,
+    TimeoutError_,
+    TupleError,
+)
+from repro.core.ags import (
+    AGS,
+    AGSResult,
+    Branch,
+    Const,
+    Expr,
+    FormalRef,
+    Guard,
+    Op,
+    OpCode,
+    ref,
+    register_function,
+)
+from repro.core.matching import TupleStore
+from repro.core.runtime import BaseRuntime, LocalRuntime, ProcessView
+from repro.core.spaces import MAIN_TS, Resilience, Scope, SpaceRegistry, TSHandle
+from repro.core.statemachine import FAILURE_TAG, TSStateMachine
+from repro.core.tuples import Formal, LindaTuple, Pattern, formal, make_tuple
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AGS",
+    "AGSError",
+    "AGSResult",
+    "BaseRuntime",
+    "Branch",
+    "CompileError",
+    "Const",
+    "Expr",
+    "FAILURE_TAG",
+    "Formal",
+    "FormalBindingError",
+    "FormalRef",
+    "Guard",
+    "HostFailedError",
+    "LindaError",
+    "LindaTuple",
+    "LocalRuntime",
+    "MAIN_TS",
+    "MatchTypeError",
+    "NotDeterministicError",
+    "Op",
+    "OpCode",
+    "Pattern",
+    "ProcessView",
+    "Resilience",
+    "RuntimeFailure",
+    "Scope",
+    "ScopeError",
+    "SpaceError",
+    "SpaceRegistry",
+    "TSHandle",
+    "TSStateMachine",
+    "TimeoutError_",
+    "TupleError",
+    "TupleStore",
+    "formal",
+    "make_tuple",
+    "ref",
+    "register_function",
+]

@@ -1,0 +1,16 @@
+"""Baselines the paper compares against (or motivates from).
+
+- :mod:`repro.baselines.plain_linda` — classic Linda: single-op atomicity
+  only, no stable spaces, no failure notification, optionally *weak*
+  ``inp``/``rdp`` semantics.  This is the strawman whose failure modes
+  Sec. 2.2 catalogs, used by experiments E6/E8/E10.
+- :mod:`repro.baselines.twophase` — a replicated tuple space updated with
+  lock-based two-phase commit, the design of Xu & Liskov [41, 40] and
+  PLinda [4] that Sec. 6 contrasts with FT-Linda's single-multicast
+  updates.  Used by experiment E4.
+"""
+
+from repro.baselines.plain_linda import PlainLindaRuntime
+from repro.baselines.twophase import TwoPhaseCluster, TwoPhaseConfig
+
+__all__ = ["PlainLindaRuntime", "TwoPhaseCluster", "TwoPhaseConfig"]

@@ -1,0 +1,83 @@
+"""ASCII line charts: figure-shaped artifacts next to the tables.
+
+The paper's evaluation communicates *shapes* — growth curves, crossovers,
+flat lines.  A fixed-width chart shows a shape at a glance in a terminal
+or a results file, so the benchmarks that sweep a parameter also emit one
+of these alongside their table.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Mapping, Sequence
+
+from repro.bench.tables import results_dir
+
+__all__ = ["ascii_chart", "save_chart"]
+
+_MARKS = "*o+x#@"
+
+
+def ascii_chart(
+    title: str,
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more y-series over shared x-values.
+
+    Points are plotted on a character grid with per-series marks; the
+    legend maps marks to names.  Y axis starts at 0 (shape comparisons
+    should not lie via truncated axes).
+    """
+    if not xs or not series:
+        raise ValueError("need at least one x value and one series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length != len(xs)")
+    y_max = max(max(ys) for ys in series.values())
+    y_max = y_max if y_max > 0 else 1.0
+    x_min, x_max = min(xs), max(xs)
+    span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        mark = _MARKS[si % len(_MARKS)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_min) / span * (width - 1))
+            row = (height - 1) - int(y / y_max * (height - 1))
+            grid[row][col] = mark
+
+    lines = [title, "=" * len(title)]
+    for i, row in enumerate(grid):
+        y_tick = y_max * (height - 1 - i) / (height - 1)
+        prefix = f"{y_tick:9.2f} |" if i % 4 == 0 or i == height - 1 else " " * 9 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    left = f"{x_min:g}"
+    right = f"{x_max:g}"
+    pad = max(1, width - len(left) - len(right))
+    lines.append(" " * 11 + left + " " * pad + right)
+    if x_label:
+        lines.append(" " * 11 + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"  legend: {legend}")
+    if y_label:
+        lines.insert(2, f"  y: {y_label}")
+    return "\n".join(lines)
+
+
+def save_chart(chart: str, name: str) -> str:
+    """Print *chart* and persist it under benchmarks/results/<name>.txt."""
+    print()
+    print(chart)
+    path = os.path.join(results_dir(), f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(chart + "\n")
+    return path

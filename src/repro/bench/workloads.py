@@ -1,0 +1,109 @@
+"""Shared workload drivers for the simulation-based experiments.
+
+Each driver builds a fresh :class:`~repro.consul.cluster.SimCluster` (or
+baseline cluster), runs a deterministic workload, and returns the metric
+samples in **virtual microseconds** — the honest unit for simulated
+experiments (wall-clock time of the simulator itself is meaningless).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.consul import ClusterConfig, SimCluster
+from repro.consul.config import ConsulConfig
+from repro.core.ags import AGS, Guard, Op, ref
+from repro.core.tuples import formal
+
+__all__ = [
+    "ags_latency_samples",
+    "incr_statement",
+    "make_cluster",
+    "mean",
+    "percentile",
+]
+
+
+def make_cluster(
+    n_hosts: int,
+    *,
+    seed: int = 0,
+    n_clients: int = 0,
+    quiet: bool = True,
+    jitter_us: float = 0.0,
+    bandwidth_bps: float = 10_000_000.0,
+    propagation_us: float = 50.0,
+    ordering: str = "sequencer",
+    **consul_overrides: Any,
+) -> SimCluster:
+    """A cluster with (by default) membership chatter pushed off-horizon.
+
+    Latency experiments want a quiet wire: with ``quiet=True`` heartbeats
+    fire every 10 virtual seconds, far beyond the measurement window, so
+    the only frames are the protocol's own.
+    """
+    kw: dict[str, Any] = dict(consul_overrides)
+    if quiet:
+        kw.setdefault("hb_interval_us", 10_000_000.0)
+        kw.setdefault("suspect_timeout_us", 40_000_000.0)
+    cfg = ClusterConfig(
+        n_hosts=n_hosts,
+        n_clients=n_clients,
+        seed=seed,
+        ordering=ordering,
+        consul=ConsulConfig(**kw),
+        jitter_us=jitter_us,
+        bandwidth_bps=bandwidth_bps,
+        propagation_us=propagation_us,
+    )
+    return SimCluster(cfg)
+
+
+def incr_statement(ts) -> AGS:
+    """The canonical fetch-and-increment AGS used across experiments."""
+    return AGS.single(
+        Guard.in_(ts, "count", formal(int, "v")),
+        [Op.out(ts, "count", ref("v") + 1)],
+    )
+
+
+def ags_latency_samples(
+    cluster: SimCluster,
+    host: int,
+    make_stmt: Callable[[Any], AGS],
+    n_samples: int,
+    *,
+    limit: float = 120_000_000.0,
+) -> list[float]:
+    """Submit *n_samples* statements sequentially; return per-AGS latency.
+
+    Latency is submit → completion-event in virtual microseconds, i.e. the
+    full path: request transmission, total ordering, replica execution and
+    completion notification — the paper's "rough estimate of the total
+    latency of an AGS" (Sec. 5.3).
+    """
+    samples: list[float] = []
+
+    def driver(view):
+        for _ in range(n_samples):
+            t0 = view.sim.now
+            yield view.execute(make_stmt(view.main_ts))
+            samples.append(view.sim.now - t0)
+
+    proc = cluster.spawn(host, driver)
+    cluster.run_until(proc.finished, limit=limit)
+    if proc.error is not None:
+        raise proc.error
+    return samples
+
+
+def mean(xs: list[float]) -> float:
+    return sum(xs) / len(xs) if xs else float("nan")
+
+
+def percentile(xs: list[float], p: float) -> float:
+    if not xs:
+        return float("nan")
+    ys = sorted(xs)
+    idx = min(len(ys) - 1, max(0, int(round(p / 100 * (len(ys) - 1)))))
+    return ys[idx]

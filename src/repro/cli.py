@@ -1,0 +1,203 @@
+"""ftlsh — an interactive FT-Linda shell.
+
+A small REPL over a :class:`~repro.core.runtime.LocalRuntime`: type
+FT-lcc statements and see their results, inspect spaces, load program
+files, and inject failures.  Useful for exploring the semantics and for
+demos; scriptable via stdin for tests.
+
+Run::
+
+    python -m repro.cli
+    python -m repro.cli --program examples/worker.ftl
+
+Commands (everything else is compiled as an FT-lcc statement)::
+
+    .spaces                    list tuple spaces
+    .space NAME [stable|volatile]   create a space
+    .dump NAME                 show a space's tuples
+    .load FILE                 load an .ftl program (binds its spaces)
+    .run NAME [k=v ...]        run a named program statement
+    .fail HOST                 inject a failure notification
+    .catalog                   show the signature catalog
+    .help                      this text
+    .quit                      leave
+"""
+
+from __future__ import annotations
+
+import argparse
+import shlex
+import sys
+from typing import Any, TextIO
+
+from repro._errors import LindaError
+from repro.core.ags import AGSResult
+from repro.core.runtime import LocalRuntime
+from repro.core.spaces import MAIN_TS, Resilience, Scope, TSHandle
+from repro.lcc import SignatureCatalog, compile_ags
+from repro.lcc.program import Program, compile_program
+
+__all__ = ["FtlShell", "main"]
+
+
+class FtlShell:
+    """The REPL engine, separable from the terminal for testing."""
+
+    def __init__(self, out: TextIO = sys.stdout):
+        self.rt = LocalRuntime()
+        self.out = out
+        self.spaces: dict[str, TSHandle] = {"main": MAIN_TS}
+        self.catalog = SignatureCatalog()
+        self.program: Program | None = None
+        self.running = True
+
+    # ------------------------------------------------------------------ #
+    # the loop
+    # ------------------------------------------------------------------ #
+
+    def repl(self, lines: TextIO, *, prompt: bool = True) -> None:
+        while self.running:
+            if prompt:
+                self.out.write("ftl> ")
+                self.out.flush()
+            line = lines.readline()
+            if not line:
+                break
+            self.handle(line.strip())
+
+    def handle(self, line: str) -> None:
+        """Process one input line."""
+        if not line or line.startswith("#"):
+            return
+        try:
+            if line.startswith("."):
+                self._command(line)
+            else:
+                self._statement(line)
+        except LindaError as exc:
+            self._print(f"error: {exc}")
+        except (ValueError, KeyError) as exc:
+            self._print(f"error: {exc}")
+
+    def _print(self, text: str) -> None:
+        self.out.write(text + "\n")
+
+    # ------------------------------------------------------------------ #
+    # statements
+    # ------------------------------------------------------------------ #
+
+    def _statement(self, src: str) -> None:
+        ags = compile_ags(src, self.spaces, self.catalog)
+        result = self.rt.execute(ags, timeout=5.0)
+        self._show_result(result)
+
+    def _show_result(self, result: AGSResult) -> None:
+        if result.aborted:
+            self._print(f"aborted: {result.error}")
+        elif not result.succeeded:
+            self._print("no branch fired")
+        else:
+            binds = ", ".join(f"{k}={v!r}" for k, v in result.bindings.items())
+            self._print(f"ok (branch {result.fired}){': ' + binds if binds else ''}")
+
+    # ------------------------------------------------------------------ #
+    # dot-commands
+    # ------------------------------------------------------------------ #
+
+    def _command(self, line: str) -> None:
+        parts = shlex.split(line)
+        cmd, args = parts[0], parts[1:]
+        if cmd == ".quit":
+            self.running = False
+        elif cmd == ".help":
+            self._print(__doc__.split("Commands", 1)[1])
+        elif cmd == ".spaces":
+            for name, h in sorted(self.spaces.items()):
+                size = self.rt.space_size(h)
+                self._print(
+                    f"{name:>12}  {h.resilience.value:>8} {h.scope.value:>7}  "
+                    f"{size} tuples"
+                )
+        elif cmd == ".space":
+            if not args:
+                raise ValueError(".space NAME [stable|volatile]")
+            name = args[0]
+            resilience = Resilience(args[1]) if len(args) > 1 else Resilience.STABLE
+            self.spaces[name] = self.rt.create_space(name, resilience)
+            self._print(f"created {name}")
+        elif cmd == ".dump":
+            if not args or args[0] not in self.spaces:
+                raise ValueError(f"unknown space {args[0] if args else '?'}")
+            for t in self.rt.space_tuples(self.spaces[args[0]]):
+                self._print(f"  {t!r}")
+        elif cmd == ".load":
+            if not args:
+                raise ValueError(".load FILE")
+            with open(args[0]) as f:
+                source = f.read()
+            self.program = compile_program(source).bind(
+                self.rt, existing=self.spaces
+            )
+            self.spaces.update(self.program.handles)
+            self._print(
+                f"loaded {len(self.program.statement_decls)} statements, "
+                f"spaces now: {sorted(self.spaces)}"
+            )
+        elif cmd == ".run":
+            if self.program is None:
+                raise ValueError("no program loaded (.load FILE first)")
+            if not args:
+                raise ValueError(".run NAME [k=v ...]")
+            params: dict[str, Any] = {}
+            for pair in args[1:]:
+                k, _eq, v = pair.partition("=")
+                params[k] = _parse_value(v)
+            result = self.rt.execute(
+                self.program.statement(args[0], **params), timeout=5.0
+            )
+            self._show_result(result)
+        elif cmd == ".fail":
+            self.rt.inject_failure(int(args[0]))
+            self._print(f"failure tuple deposited for host {args[0]}")
+        elif cmd == ".catalog":
+            for sig in self.catalog.signatures():
+                self._print(f"  ({', '.join(sig)})")
+            if self.program is not None:
+                for sig in self.program.catalog.signatures():
+                    self._print(f"  ({', '.join(sig)})  [program]")
+        else:
+            raise ValueError(f"unknown command {cmd} (.help for help)")
+
+
+def _parse_value(text: str) -> Any:
+    """Parse a .run parameter: int, float, bool, or string."""
+    for conv in (int, float):
+        try:
+            return conv(text)
+        except ValueError:
+            pass
+    if text in ("true", "True"):
+        return True
+    if text in ("false", "False"):
+        return False
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ftlsh", description="interactive FT-Linda shell"
+    )
+    parser.add_argument("--program", help=".ftl program to load at startup")
+    parser.add_argument(
+        "--quiet", action="store_true", help="no prompt (for piped scripts)"
+    )
+    opts = parser.parse_args(argv)
+    shell = FtlShell()
+    if opts.program:
+        shell.handle(f".load {opts.program}")
+    shell.repl(sys.stdin, prompt=not opts.quiet)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Consul analog: the fault-tolerant communication substrate.
+
+The paper implements FT-Linda on **Consul** [29, 30], which supplies
+atomic (totally ordered, reliable) multicast, membership with failure
+notification, and recovery support.  This package rebuilds those services
+over the discrete-event simulator:
+
+- :mod:`repro.consul.network` — a 10 Mb/s-Ethernet-like broadcast segment
+  with serialization, propagation delay, seeded loss and partitions;
+- :mod:`repro.consul.ordering` — reliable totally ordered multicast
+  (fixed sequencer with NACK-based repair and takeover on crash);
+- :mod:`repro.consul.membership` — heartbeat failure detection, ordered
+  view changes, restart/state-transfer on recovery;
+- :mod:`repro.consul.replica` — the TS state-machine replica layer that
+  turns delivered commands into tuple-space updates and routes
+  completions back to client processes;
+- :mod:`repro.consul.cluster` — :class:`~repro.consul.cluster.SimCluster`,
+  the top-level object benchmarks and tests construct;
+- :mod:`repro.consul.rpc` — the remote-procedure-call forwarding variant
+  of the paper's Figure 17 (requests forwarded to a tuple server).
+"""
+
+from repro.consul.cluster import SimCluster, ClusterConfig
+
+__all__ = ["ClusterConfig", "SimCluster"]

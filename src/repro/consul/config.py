@@ -1,0 +1,60 @@
+"""Tunables of the simulated Consul substrate.
+
+Defaults approximate the paper's testbed: 10 Mb/s shared Ethernet and
+workstation-class protocol processing costs, calibrated so that the
+3-replica dissemination+ordering latency lands in the regime of the
+measured "approximately 4.0 msec" (Sec. 5).  Benchmarks sweep these.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["ConsulConfig"]
+
+
+@dataclasses.dataclass
+class ConsulConfig:
+    """Protocol timing/cost parameters (all times in microseconds)."""
+
+    #: Heartbeat period of the membership failure detector.
+    hb_interval_us: float = 25_000.0
+    #: Silence threshold before a host is suspected dead.
+    suspect_timeout_us: float = 100_000.0
+    #: Client-side resend period for unacknowledged ordering requests.
+    retrans_timeout_us: float = 50_000.0
+    #: How long a receiver waits on a sequence gap before NACKing.
+    nack_delay_us: float = 5_000.0
+    #: How long a new sequencer waits for SYNC responses before proceeding.
+    sync_timeout_us: float = 50_000.0
+    #: Resend period for a recovering host's RESTART announcements.
+    restart_interval_us: float = 50_000.0
+
+    #: CPU service time charged per protocol message handled by a host.
+    #: The paper's 4.0 ms 3-replica ordering time on Sun-3s is dominated
+    #: by this kind of per-message protocol processing.
+    cpu_us_per_msg: float = 1_000.0
+
+    #: State-machine execution cost model: base cost of applying a command
+    #: plus a marginal cost per tuple operation in the AGS — mirroring the
+    #: structure of the paper's Table 1 (base + per-op columns).
+    apply_base_us: float = 300.0
+    apply_per_op_us: float = 65.0
+
+    #: Entries of recently delivered commands each host retains so a new
+    #: sequencer (or a NACKing peer) can be repaired after failures.
+    recent_log_size: int = 1024
+
+    #: When True, sequencing / takeover / token regeneration and membership
+    #: exclusion announcements require a believed majority of the static
+    #: membership.  The paper's failure model is processor *crash* (Sec. 5:
+    #: fail-silent), not partition, so this defaults to False — matching
+    #: the paper and keeping 2-host groups available after a crash.  Turn
+    #: it on for partition experiments: the minority side then stalls
+    #: instead of forking the total order (modulo the detector's reaction
+    #: window, as in any failure-detector-based quorum scheme).
+    require_quorum: bool = False
+
+    def apply_cost(self, op_count: int) -> float:
+        """Virtual-time cost of applying a command with *op_count* TS ops."""
+        return self.apply_base_us + self.apply_per_op_us * max(op_count, 0)

@@ -1,0 +1,155 @@
+"""Simulated hosts: a processor, its NIC, its protocol stack, its clients.
+
+A :class:`SimHost` models one workstation of the paper's testbed.  Hosts
+are **fail-silent**: :meth:`SimHost.crash` stops the NIC, kills every
+client process and discards all protocol soft state, with no goodbye
+message — exactly the failure model the paper assumes (Sec. 5), which the
+membership layer then converts to fail-stop by announcing a failure tuple.
+
+The host also owns a tiny CPU model: protocol upcalls are serialized
+through :meth:`cpu` with a configurable service time, so protocol
+processing costs show up in end-to-end latencies (the dominant term in
+Consul's measured 4.0 ms ordering time on Sun-3s was exactly this).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import SimProcess
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol, ProtocolStack
+from repro.consul.network import BROADCAST, EthernetSegment, NIC
+
+__all__ = ["NetDriver", "SimHost"]
+
+
+class SimHost:
+    """One simulated workstation."""
+
+    def __init__(
+        self,
+        host_id: int,
+        sim: Simulator,
+        segment: EthernetSegment,
+        *,
+        cpu_us_per_msg: float = 1000.0,
+    ):
+        self.id = host_id
+        self.sim = sim
+        self.segment = segment
+        self.cpu_us_per_msg = cpu_us_per_msg
+        self.crashed = False
+        self.nic = NIC(host_id, self._on_frame)
+        segment.attach(self.nic)
+        self.stack: ProtocolStack | None = None
+        self.processes: list[SimProcess] = []
+        self._cpu_free_at = 0.0
+        self.crash_count = 0
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+
+    def install_stack(self, stack: ProtocolStack) -> None:
+        self.stack = stack
+        stack.start()
+
+    def spawn(self, gen: Any, name: str = "") -> SimProcess:
+        """Start a client process on this host (killed if the host crashes)."""
+        proc = SimProcess(self.sim, gen, name or f"h{self.id}.proc")
+        self.processes.append(proc)
+        return proc
+
+    # ------------------------------------------------------------------ #
+    # CPU model
+    # ------------------------------------------------------------------ #
+
+    def cpu(self, fn: Callable[..., None], *args: Any, cost_us: float | None = None) -> None:
+        """Run ``fn(*args)`` after queueing for this host's CPU.
+
+        Work is FIFO: each job occupies the CPU for *cost_us* (default
+        :attr:`cpu_us_per_msg`), so a burst of deliveries serializes — as
+        it did on the paper's single-CPU workstations.
+        """
+        cost = self.cpu_us_per_msg if cost_us is None else cost_us
+        start = max(self.sim.now, self._cpu_free_at)
+        self._cpu_free_at = start + cost
+        generation = self.crash_count
+        self.sim.schedule(
+            (start + cost) - self.sim.now, self._cpu_run, generation, fn, args
+        )
+
+    def _cpu_run(self, generation: int, fn: Callable[..., None], args: tuple) -> None:
+        # jobs queued before a crash die with the crash
+        if self.crashed or generation != self.crash_count:
+            return
+        fn(*args)
+
+    # ------------------------------------------------------------------ #
+    # frames
+    # ------------------------------------------------------------------ #
+
+    def transmit(self, dst: int, msg: Message) -> None:
+        """Put a frame on the wire (no-op when crashed: fail-silent)."""
+        if self.crashed:
+            return
+        self.segment.transmit(self.id, dst, msg)
+
+    def _on_frame(self, msg: Message, src: int) -> None:
+        if self.crashed or self.stack is None:
+            return
+        self.cpu(self._dispatch_frame, msg, src)
+
+    def _dispatch_frame(self, msg: Message, src: int) -> None:
+        assert self.stack is not None
+        self.stack.bottom.from_lower(msg, src=src)
+
+    # ------------------------------------------------------------------ #
+    # failure injection
+    # ------------------------------------------------------------------ #
+
+    def crash(self) -> None:
+        """Fail silently: halt clients, drop soft state, go deaf."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_count += 1
+        self.nic.up = False
+        for p in self.processes:
+            p.kill()
+        self.processes.clear()
+        if self.stack is not None:
+            self.stack.host_crashed()
+
+    def recover(self) -> None:
+        """Restart the processor; protocols begin their rejoin dance."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.nic.up = True
+        self._cpu_free_at = self.sim.now
+        if self.stack is not None:
+            self.stack.host_recovered()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else "up"
+        return f"SimHost({self.id}, {state})"
+
+
+class NetDriver(Protocol):
+    """Bottom of the stack: frames to/from the Ethernet segment."""
+
+    name = "net"
+
+    def __init__(self, host: SimHost):
+        super().__init__()
+        self.host = host
+
+    def from_upper(self, msg: Message, dst: int = BROADCAST, **kw: Any) -> None:
+        self.host.transmit(dst, msg)
+
+    def from_lower(self, msg: Message, **kw: Any) -> None:
+        # invoked by SimHost._on_frame via the CPU queue
+        self.deliver_up(msg, **kw)

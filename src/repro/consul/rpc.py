@@ -1,0 +1,91 @@
+"""The RPC-forwarding configuration of the paper's Figure 17.
+
+In the main design every host runs a TS replica, so the FT-Linda library
+submits requests to Consul directly.  Figure 17 shows the alternative for
+machines that do *not* host a replica: "rather than requests being
+submitted to Consul directly from the FT-Linda library, a remote procedure
+call (RPC) [31] would be used to forward the request to a request handler
+process on a tuple server.  This handler immediately submits it to
+Consul's multicast service as before" — and ships the result back in the
+RPC reply.
+
+:class:`RPCClientLayer` is the whole stack of such a client host (over the
+net driver): it marshals the AGS into an ``RPC_REQ`` unicast to its tuple
+server and parks the caller until the ``RPC_REP`` returns.  The server
+side lives in :class:`~repro.consul.replica.ReplicaLayer`, which treats an
+incoming ``RPC_REQ`` exactly like a local submission plus a reply hook.
+
+Experiment E5 measures the extra round trip this configuration costs.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consul.hosts import SimHost
+from repro.core.ags import AGS
+from repro.sim.kernel import SimEvent
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol
+
+__all__ = ["RPCClientLayer"]
+
+
+class RPCClientLayer(Protocol):
+    """Thin FT-Linda client: every request is an RPC to a tuple server."""
+
+    name = "rpc"
+
+    def __init__(self, host: SimHost, server_host: int):
+        super().__init__()
+        self.host = host
+        self.server_host = server_host
+        self._req_counter = 0
+        self.waiting: dict[int, SimEvent] = {}
+        self.recovering = False  # interface parity with ReplicaLayer
+
+    # ------------------------------------------------------------------ #
+    # client API (same surface SimView uses on replica hosts)
+    # ------------------------------------------------------------------ #
+
+    def submit_ags(self, ags: AGS, process_id: int = 0) -> SimEvent:
+        self._req_counter += 1
+        rid = self.host.id * 10**12 + self.host.crash_count * 10**9 + self._req_counter
+        ev = self.host.sim.event(f"rpc#{rid}")
+        self.waiting[rid] = ev
+        payload = ("RPC_REQ", rid, self.host.id, process_id, ags)
+        msg = Message(payload)
+        # frame it the way the server's ordering layer expects raw traffic
+        msg.push_header("ord", ("RAW",), size=1)
+        self.send_down(msg, dst=self.server_host)
+        return ev
+
+    def submit_create_space(self, *args: Any, **kw: Any) -> SimEvent:
+        raise NotImplementedError(
+            "RPC clients issue tuple operations only; create spaces from a "
+            "replica host"
+        )
+
+    submit_destroy_space = submit_create_space
+
+    # ------------------------------------------------------------------ #
+    # receive path
+    # ------------------------------------------------------------------ #
+
+    def from_lower(self, msg: Message, src: int = -1, **kw: Any) -> None:
+        header = msg.pop_header("ord")
+        if header[0] != "RAW":
+            return  # ORD broadcasts etc. — not ours, we hold no replica
+        payload = msg.payload
+        if not (isinstance(payload, tuple) and payload and payload[0] == "RPC_REP"):
+            return  # heartbeats and other chatter
+        _k, rid, result = payload
+        ev = self.waiting.pop(rid, None)
+        if ev is not None and not ev.triggered:
+            ev.succeed(result)
+
+    def host_crashed(self) -> None:
+        self.waiting.clear()
+
+    def host_recovered(self) -> None:
+        pass

@@ -1,0 +1,1 @@
+"""Core FT-Linda machinery: tuples, matching, tuple spaces, AGS, runtime."""

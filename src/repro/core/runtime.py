@@ -1,0 +1,512 @@
+"""FT-Linda runtimes: the programmer-facing API over the state machine.
+
+The paper's programming model is: processes share tuple spaces; every
+interaction is a tuple-space operation; single operations are sugar for
+one-branch atomic guarded statements.  This module defines
+
+- :class:`BaseRuntime` — the abstract API (``out``/``in_``/``rd``/``inp``/
+  ``rdp``/``move``/``copy``/``execute``/``ts_create``/``eval_``), with all
+  the convenience wrappers implemented once on top of a single abstract
+  ``_submit(ags, process_id)``;
+- :class:`ProcessView` — the API a spawned (``eval``'ed) process sees,
+  bound to its process id;
+- :class:`LocalRuntime` — a single-host, thread-safe implementation that
+  executes statements directly against one
+  :class:`~repro.core.statemachine.TSStateMachine`.  This is both the unit
+  under test for most of the suite and the paper's "single processor"
+  measurement configuration (Sec. 5.3): no replication, no network, pure
+  tuple-processing overhead.
+
+Distributed implementations (simulated network + Consul, threads/processes
+with a replica group) live in :mod:`repro.consul` and :mod:`repro.parallel`
+and share this exact API, so every example and paradigm runs unchanged on
+any backend.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import threading
+from typing import Any, Callable, Sequence
+
+from repro._errors import AGSError, RuntimeFailure, TimeoutError_
+from repro.core.ags import AGS, AGSResult, Guard, Op
+from repro.core.spaces import MAIN_TS, Resilience, Scope, TSHandle
+from repro.core.statemachine import (
+    Command,
+    CreateSpace,
+    DestroySpace,
+    ExecuteAGS,
+    TSStateMachine,
+)
+from repro.core.tuples import Formal, LindaTuple
+
+__all__ = ["BaseRuntime", "LocalRuntime", "ProcessView"]
+
+#: Origin-host id LocalRuntime stamps on its own commands.  It is reserved:
+#: failure injection uses non-negative *logical* host ids (worker ids), and
+#: a HostFailed command drops blocked statements whose origin matches the
+#: failed host — the runtime's own statements must never match.
+_LOCAL_ORIGIN = -1
+
+
+def _autoname(fields: Sequence[Any]) -> tuple[list[Any], list[tuple[int, str]]]:
+    """Give anonymous formals synthetic names so results can be rebuilt.
+
+    Classic Linda's ``in("count", ?int)`` returns the matched tuple; the
+    AGS machinery only reports *named* formal bindings.  The convenience
+    wrappers therefore rename every anonymous formal to ``_fI`` (its field
+    index) and use the bindings to reconstruct the full matched tuple.
+    """
+    out: list[Any] = []
+    renamed: list[tuple[int, str]] = []
+    for i, f in enumerate(fields):
+        if isinstance(f, Formal) and f.name is None:
+            nm = f"_f{i}"
+            out.append(Formal(object if not f.typed else f.ftype, nm))
+            renamed.append((i, nm))
+        else:
+            out.append(f)
+            if isinstance(f, Formal):
+                renamed.append((i, f.name))  # type: ignore[arg-type]
+    return out, renamed
+
+
+def _rebuild(fields: Sequence[Any], result: AGSResult) -> LindaTuple:
+    """Reconstruct the matched tuple from pattern fields and bindings."""
+    vals: list[Any] = []
+    for i, f in enumerate(fields):
+        if isinstance(f, Formal):
+            vals.append(result.bindings[f.name])
+        elif hasattr(f, "evaluate"):
+            vals.append(f.evaluate(result.bindings))
+        else:
+            vals.append(f)
+    return LindaTuple(vals)
+
+
+class BaseRuntime(abc.ABC):
+    """Abstract FT-Linda runtime: classic Linda ops as one-op AGSs.
+
+    Subclasses provide command submission and process creation; everything
+    user-facing is defined here so all backends behave identically.
+    """
+
+    # ------------------------------------------------------------------ #
+    # abstract transport
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def _submit(
+        self, ags: AGS, process_id: int, *, timeout: float | None = None
+    ) -> AGSResult:
+        """Execute *ags* with atomicity/ordering guarantees; block as needed."""
+
+    @abc.abstractmethod
+    def create_space(
+        self,
+        name: str,
+        resilience: Resilience = Resilience.STABLE,
+        scope: Scope = Scope.SHARED,
+        owner: int | None = None,
+    ) -> TSHandle:
+        """``ts_create`` (Sec. 3)."""
+
+    @abc.abstractmethod
+    def destroy_space(self, handle: TSHandle) -> None:
+        """``ts_destroy``."""
+
+    @abc.abstractmethod
+    def eval_(
+        self, fn: Callable[..., Any], *args: Any, process_id: int | None = None
+    ) -> "ProcessHandle":
+        """Linda's ``eval``: create a live tuple (a new process).
+
+        *fn* receives a :class:`ProcessView` bound to the new process as
+        its first argument, then *args*.  ``eval`` is deliberately NOT
+        allowed inside an AGS (Sec. 3's restrictions), hence a runtime
+        method rather than an opcode.
+        """
+
+    # ------------------------------------------------------------------ #
+    # the Linda operations (single-op AGS sugar)
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self, ags: AGS, *, process_id: int = 0, timeout: float | None = None
+    ) -> AGSResult:
+        """Execute an arbitrary atomic guarded statement.
+
+        Unlike the classic-op wrappers below, ``execute`` never raises on
+        an aborted statement — callers inspect :attr:`AGSResult.error`.
+        """
+        return self._submit(ags, process_id, timeout=timeout)
+
+    @staticmethod
+    def _checked(res: AGSResult) -> AGSResult:
+        """Raise the deterministic error carried by an aborted result."""
+        if res.aborted:
+            if isinstance(res.error, Exception):
+                raise res.error
+            raise RuntimeFailure(str(res.error))
+        return res
+
+    def out(self, ts: TSHandle, *fields: Any, process_id: int = 0) -> None:
+        """Deposit a tuple (classic ``out``)."""
+        self._checked(self._submit(AGS.atomic(Op.out(ts, *fields)), process_id))
+
+    def in_(
+        self,
+        ts: TSHandle,
+        *fields: Any,
+        process_id: int = 0,
+        timeout: float | None = None,
+    ) -> LindaTuple:
+        """Withdraw a matching tuple, blocking until one exists."""
+        named, _ = _autoname(fields)
+        res = self._checked(
+            self._submit(AGS.single(Guard.in_(ts, *named)), process_id, timeout=timeout)
+        )
+        return _rebuild(named, res)
+
+    def rd(
+        self,
+        ts: TSHandle,
+        *fields: Any,
+        process_id: int = 0,
+        timeout: float | None = None,
+    ) -> LindaTuple:
+        """Read a matching tuple without withdrawing it, blocking."""
+        named, _ = _autoname(fields)
+        res = self._checked(
+            self._submit(AGS.single(Guard.rd(ts, *named)), process_id, timeout=timeout)
+        )
+        return _rebuild(named, res)
+
+    def inp(self, ts: TSHandle, *fields: Any, process_id: int = 0) -> LindaTuple | None:
+        """Non-blocking ``in`` with FT-Linda's *strong* semantics.
+
+        Returns the matched tuple, or ``None`` as a guarantee that no
+        matching tuple existed at this operation's point in the total
+        order (Sec. 6).
+        """
+        named, _ = _autoname(fields)
+        res = self._checked(self._submit(AGS.single(Guard.inp(ts, *named)), process_id))
+        if not res.succeeded:
+            return None
+        return _rebuild(named, res)
+
+    def rdp(self, ts: TSHandle, *fields: Any, process_id: int = 0) -> LindaTuple | None:
+        """Non-blocking ``rd`` with strong semantics."""
+        named, _ = _autoname(fields)
+        res = self._checked(self._submit(AGS.single(Guard.rdp(ts, *named)), process_id))
+        if not res.succeeded:
+            return None
+        return _rebuild(named, res)
+
+    def move(
+        self, src: TSHandle, dst: TSHandle, *fields: Any, process_id: int = 0
+    ) -> None:
+        """Atomically transfer every matching tuple from *src* to *dst*."""
+        self._checked(self._submit(AGS.atomic(Op.move(src, dst, *fields)), process_id))
+
+    def copy(
+        self, src: TSHandle, dst: TSHandle, *fields: Any, process_id: int = 0
+    ) -> None:
+        """Atomically duplicate every matching tuple from *src* into *dst*."""
+        self._checked(self._submit(AGS.atomic(Op.copy(src, dst, *fields)), process_id))
+
+    def eval_out(
+        self, ts: TSHandle, *fields: Any, process_id: int = 0
+    ) -> "ProcessHandle":
+        """Classic Linda's *live tuple*: ``eval(ts, f1, fn, f2, …)``.
+
+        In Gelernter's original model, ``eval`` deposits an *active* tuple:
+        fields that are functions are evaluated by freshly created
+        processes, concurrently, and when all of them finish the tuple
+        turns *passive* — it materializes in the space and becomes
+        matchable.  (FT-Linda keeps ``eval`` outside AGSs; this is the
+        plain-Linda form, offered on every runtime.)
+
+        Callable fields take no arguments and return a valid field value.
+        Returns the handle of the coordinating process; ``join`` yields
+        the deposited tuple.
+        """
+        callables = [(i, f) for i, f in enumerate(fields) if callable(f)]
+        for i, f in enumerate(fields):
+            if not callable(f) and isinstance(f, Formal):
+                raise AGSError("live tuples take values or functions, not formals")
+
+        def coordinator(proc: "ProcessView") -> LindaTuple:
+            results: dict[int, Any] = {}
+            children = [
+                (i, proc.eval_(lambda _p, fn=fn: fn())) for i, fn in callables
+            ]
+            for i, h in children:
+                results[i] = h.join()
+            resolved = [
+                results[i] if callable(f) else f for i, f in enumerate(fields)
+            ]
+            proc.out(ts, *resolved)
+            return LindaTuple(resolved)
+
+        return self.eval_(coordinator)
+
+    def view(self, process_id: int) -> "ProcessView":
+        """An API facade bound to *process_id* (what ``eval`` hands out)."""
+        return ProcessView(self, process_id)
+
+    @property
+    def main_ts(self) -> TSHandle:
+        """The default shared stable tuple space."""
+        return MAIN_TS
+
+
+class ProcessView:
+    """The FT-Linda API as seen by one process: same ops, pid pre-bound."""
+
+    __slots__ = ("_runtime", "process_id")
+
+    def __init__(self, runtime: BaseRuntime, process_id: int):
+        self._runtime = runtime
+        self.process_id = process_id
+
+    def execute(self, ags: AGS, *, timeout: float | None = None) -> AGSResult:
+        return self._runtime.execute(
+            ags, process_id=self.process_id, timeout=timeout
+        )
+
+    def out(self, ts: TSHandle, *fields: Any) -> None:
+        self._runtime.out(ts, *fields, process_id=self.process_id)
+
+    def in_(self, ts: TSHandle, *fields: Any, timeout: float | None = None) -> LindaTuple:
+        return self._runtime.in_(
+            ts, *fields, process_id=self.process_id, timeout=timeout
+        )
+
+    def rd(self, ts: TSHandle, *fields: Any, timeout: float | None = None) -> LindaTuple:
+        return self._runtime.rd(
+            ts, *fields, process_id=self.process_id, timeout=timeout
+        )
+
+    def inp(self, ts: TSHandle, *fields: Any) -> LindaTuple | None:
+        return self._runtime.inp(ts, *fields, process_id=self.process_id)
+
+    def rdp(self, ts: TSHandle, *fields: Any) -> LindaTuple | None:
+        return self._runtime.rdp(ts, *fields, process_id=self.process_id)
+
+    def move(self, src: TSHandle, dst: TSHandle, *fields: Any) -> None:
+        self._runtime.move(src, dst, *fields, process_id=self.process_id)
+
+    def copy(self, src: TSHandle, dst: TSHandle, *fields: Any) -> None:
+        self._runtime.copy(src, dst, *fields, process_id=self.process_id)
+
+    def create_space(
+        self,
+        name: str,
+        resilience: Resilience = Resilience.STABLE,
+        scope: Scope = Scope.SHARED,
+    ) -> TSHandle:
+        owner = self.process_id if scope is Scope.PRIVATE else None
+        return self._runtime.create_space(name, resilience, scope, owner)
+
+    def destroy_space(self, handle: TSHandle) -> None:
+        self._runtime.destroy_space(handle)
+
+    def eval_(self, fn: Callable[..., Any], *args: Any) -> "ProcessHandle":
+        return self._runtime.eval_(fn, *args)
+
+    @property
+    def main_ts(self) -> TSHandle:
+        return self._runtime.main_ts
+
+
+class ProcessHandle:
+    """Handle of an ``eval``'ed process (join/result inspection)."""
+
+    __slots__ = ("process_id", "_thread", "_result", "_error")
+
+    def __init__(self, process_id: int, thread: threading.Thread | None = None):
+        self.process_id = process_id
+        self._thread = thread
+        self._result: Any = None
+        self._error: BaseException | None = None
+
+    def join(self, timeout: float | None = None) -> Any:
+        """Wait for the process to finish; re-raises its exception."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise TimeoutError_(
+                    f"process {self.process_id} still running after {timeout}s"
+                )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    @property
+    def done(self) -> bool:
+        return self._thread is None or not self._thread.is_alive()
+
+
+class LocalRuntime(BaseRuntime):
+    """Single-host FT-Linda: one state machine, threads as processes.
+
+    All statements execute under one lock, which *is* the total order —
+    this configuration trades distribution for exactness and is what the
+    paper measures in its single-processor Table 1 numbers.  ``in``/``rd``
+    block on a condition variable and are re-tried by the state machine's
+    deterministic wake-up scan whenever any statement completes.
+    """
+
+    def __init__(self, *, op_stats: bool = False):
+        self._sm = TSStateMachine(op_stats=op_stats)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._req_ids = itertools.count(1)
+        self._proc_ids = itertools.count(1)
+        self._results: dict[int, AGSResult] = {}
+        self._procs: list[ProcessHandle] = []
+
+    # ------------------------------------------------------------------ #
+    # BaseRuntime implementation
+    # ------------------------------------------------------------------ #
+
+    def _submit(
+        self, ags: AGS, process_id: int, *, timeout: float | None = None
+    ) -> AGSResult:
+        with self._cond:
+            rid = next(self._req_ids)
+            completions = self._sm.apply(
+                ExecuteAGS(rid, _LOCAL_ORIGIN, process_id, ags)
+            )
+            for c in completions:
+                self._results[c.request_id] = c.result
+            if any(c.request_id != rid for c in completions):
+                # our statement unblocked someone else's — wake their threads
+                self._cond.notify_all()
+            if rid in self._results:
+                return self._results.pop(rid)
+            # parked: wait until some later statement completes ours
+            deadline = None if timeout is None else _now() + timeout
+            while rid not in self._results:
+                remaining = None if deadline is None else deadline - _now()
+                if remaining is not None and remaining <= 0:
+                    self._cancel_blocked(rid)
+                    raise TimeoutError_(
+                        f"in/rd guard not satisfied within {timeout}s"
+                    )
+                self._cond.wait(remaining)
+            return self._results.pop(rid)
+
+    def _cancel_blocked(self, rid: int) -> None:
+        self._sm.blocked = [
+            b for b in self._sm.blocked if b.command.request_id != rid
+        ]
+
+    def create_space(
+        self,
+        name: str,
+        resilience: Resilience = Resilience.STABLE,
+        scope: Scope = Scope.SHARED,
+        owner: int | None = None,
+    ) -> TSHandle:
+        with self._cond:
+            rid = next(self._req_ids)
+            completions = self._sm.apply(
+                CreateSpace(rid, _LOCAL_ORIGIN, name, resilience, scope, owner)
+            )
+            result = completions[0].result
+            if isinstance(result, Exception):
+                raise result
+            return result
+
+    def destroy_space(self, handle: TSHandle) -> None:
+        with self._cond:
+            rid = next(self._req_ids)
+            completions = self._sm.apply(DestroySpace(rid, _LOCAL_ORIGIN, handle))
+            result = completions[0].result
+            if isinstance(result, Exception):
+                raise result
+
+    def eval_(
+        self, fn: Callable[..., Any], *args: Any, process_id: int | None = None
+    ) -> ProcessHandle:
+        pid = process_id if process_id is not None else next(self._proc_ids)
+        handle = ProcessHandle(pid)
+
+        def run() -> None:
+            try:
+                handle._result = fn(self.view(pid), *args)
+            except BaseException as exc:  # noqa: BLE001 - reported via join()
+                handle._error = exc
+
+        t = threading.Thread(target=run, name=f"linda-proc-{pid}", daemon=True)
+        handle._thread = t
+        self._procs.append(handle)
+        t.start()
+        return handle
+
+    def join_all(self, timeout: float | None = None) -> None:
+        """Wait for every ``eval``'ed process to finish."""
+        for h in list(self._procs):
+            h.join(timeout)
+
+    # ------------------------------------------------------------------ #
+    # failure injection (paradigm tests / baselines)
+    # ------------------------------------------------------------------ #
+
+    def inject_failure(self, host_id: int) -> None:
+        """Simulate the fail-stop notification for logical host *host_id*.
+
+        On the distributed backends the membership protocol does this
+        automatically; on a single-host runtime, tests and examples model
+        "worker w's processor crashed" by stopping the worker's thread and
+        calling ``inject_failure(w)`` — which deposits the distinguished
+        failure tuple and drops the dead host's blocked statements, exactly
+        as the runtime does in the paper (Sec. 2.2).
+        """
+        from repro.core.statemachine import HostFailed
+
+        with self._cond:
+            rid = next(self._req_ids)
+            completions = self._sm.apply(HostFailed(rid, _LOCAL_ORIGIN, host_id))
+            for c in completions:
+                self._results[c.request_id] = c.result
+            if completions:
+                self._cond.notify_all()
+
+    def inject_recovery(self, host_id: int) -> None:
+        """Deposit the recovery tuple for logical host *host_id*."""
+        from repro.core.statemachine import HostRecovered
+
+        with self._cond:
+            rid = next(self._req_ids)
+            completions = self._sm.apply(HostRecovered(rid, _LOCAL_ORIGIN, host_id))
+            for c in completions:
+                self._results[c.request_id] = c.result
+            if completions:
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # inspection (tests, benchmarks)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def state_machine(self) -> TSStateMachine:
+        return self._sm
+
+    def space_size(self, handle: TSHandle) -> int:
+        with self._lock:
+            return len(self._sm.registry.store(handle))
+
+    def space_tuples(self, handle: TSHandle) -> list[LindaTuple]:
+        with self._lock:
+            return self._sm.registry.store(handle).to_list()
+
+
+def _now() -> float:
+    import time
+
+    return time.monotonic()

@@ -1,0 +1,513 @@
+"""The tuple-space state machine: deterministic execution of commands.
+
+FT-Linda realizes stable tuple spaces with the **replicated state machine
+approach** (Schneider [37]): every host runs an identical copy of the TS
+state machine, commands are disseminated by atomic multicast, delivered in
+the same total order everywhere, and executed deterministically — so the
+replicas never diverge and no further coordination is needed (Sec. 5 of
+the paper).  This module is that state machine, factored out of any
+particular transport so the same code runs:
+
+- under the discrete-event simulator (``repro.consul`` delivers commands),
+- under the threads/multiprocessing backends,
+- standalone, as the "single processor" configuration the paper's Table 1
+  micro-benchmarks measure.
+
+Determinism contract: :meth:`TSStateMachine.apply` is a pure function of
+(current state, command).  Anything nondeterministic — client identity,
+timestamps, random payloads — must already be *inside* the command.
+
+Commands
+--------
+:class:`ExecuteAGS`     run an atomic guarded statement (the workhorse)
+:class:`CreateSpace`    ``ts_create``
+:class:`DestroySpace`   ``ts_destroy``
+:class:`HostFailed`     membership notification; deposits the paper's
+                        *failure tuple* and drops the dead host's blocked
+                        statements
+:class:`HostRecovered`  membership notification of a rejoin (bookkeeping)
+:class:`CancelRequest`  withdraw a parked statement (ordered timeout)
+
+Blocking is implemented replica-side: an :class:`ExecuteAGS` whose guards
+all fail and are all blocking is parked on a FIFO of blocked statements.
+After every state-mutating command the machine rescans that FIFO in order
+until quiescence, so statements wake in a deterministic order at every
+replica — the same trick lets ``inp``/``rdp`` give the *strong* semantics
+the paper highlights (a probe's answer is exact at its point in the total
+order).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro._errors import FormalBindingError, SpaceError, TupleError
+from repro.core.ags import AGS, AGSResult, GuardKind, Op, OpCode
+from repro.core.matching import TupleStore
+from repro.core.spaces import MAIN_TS, Resilience, Scope, SpaceRegistry, TSHandle
+from repro.core.tuples import LindaTuple
+
+__all__ = [
+    "CancelRequest",
+    "Command",
+    "Completion",
+    "CreateSpace",
+    "DestroySpace",
+    "ExecuteAGS",
+    "FAILURE_TAG",
+    "HostFailed",
+    "HostRecovered",
+    "TSStateMachine",
+]
+
+#: First field of the distinguished failure tuple the runtime deposits when
+#: a host crashes (Sec. 2.2: fail-silent failures are converted to
+#: fail-stop "by providing failure notification in the form of a
+#: distinguished failure tuple that gets deposited into TS").
+FAILURE_TAG = "ft_failure"
+
+#: First field of the recovery tuple deposited when a host rejoins.
+RECOVERY_TAG = "ft_recovery"
+
+
+class Command:
+    """Base class of totally ordered state-machine commands."""
+
+    __slots__ = ("request_id", "origin_host")
+
+    def __init__(self, request_id: int, origin_host: int):
+        self.request_id = request_id
+        self.origin_host = origin_host
+
+
+class ExecuteAGS(Command):
+    """Run *ags* on behalf of process *process_id* at *origin_host*."""
+
+    __slots__ = ("process_id", "ags")
+
+    def __init__(self, request_id: int, origin_host: int, process_id: int, ags: AGS):
+        super().__init__(request_id, origin_host)
+        self.process_id = process_id
+        self.ags = ags
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExecuteAGS(#{self.request_id} h{self.origin_host} {self.ags!r})"
+
+
+class CreateSpace(Command):
+    """``ts_create(name, resilience, scope)``."""
+
+    __slots__ = ("name", "resilience", "scope", "owner")
+
+    def __init__(
+        self,
+        request_id: int,
+        origin_host: int,
+        name: str,
+        resilience: Resilience,
+        scope: Scope,
+        owner: int | None,
+    ):
+        super().__init__(request_id, origin_host)
+        self.name = name
+        self.resilience = resilience
+        self.scope = scope
+        self.owner = owner
+
+
+class DestroySpace(Command):
+    """``ts_destroy(handle)``."""
+
+    __slots__ = ("handle",)
+
+    def __init__(self, request_id: int, origin_host: int, handle: TSHandle):
+        super().__init__(request_id, origin_host)
+        self.handle = handle
+
+
+class HostFailed(Command):
+    """Membership says *failed_host* crashed (fail-silent → fail-stop)."""
+
+    __slots__ = ("failed_host",)
+
+    def __init__(self, request_id: int, origin_host: int, failed_host: int):
+        super().__init__(request_id, origin_host)
+        self.failed_host = failed_host
+
+
+class HostRecovered(Command):
+    """Membership says *recovered_host* rejoined the group."""
+
+    __slots__ = ("recovered_host",)
+
+    def __init__(self, request_id: int, origin_host: int, recovered_host: int):
+        super().__init__(request_id, origin_host)
+        self.recovered_host = recovered_host
+
+
+class CancelRequest(Command):
+    """Withdraw a parked ExecuteAGS (client-side timeout or abort).
+
+    Like everything else, cancellation flows through the total order, so
+    either every replica still has the statement parked (all drop it and
+    the origin replica reports the cancellation) or none does (the cancel
+    is a no-op everywhere — the statement already fired).  There is no
+    in-between: that is precisely what the total order buys.
+    """
+
+    __slots__ = ("target_request_id",)
+
+    def __init__(self, request_id: int, origin_host: int, target_request_id: int):
+        super().__init__(request_id, origin_host)
+        self.target_request_id = target_request_id
+
+
+class Completion:
+    """A finished request: routed back to the client by the replica layer."""
+
+    __slots__ = ("request_id", "origin_host", "process_id", "result")
+
+    def __init__(
+        self,
+        request_id: int,
+        origin_host: int,
+        process_id: int | None,
+        result: Any,
+    ):
+        self.request_id = request_id
+        self.origin_host = origin_host
+        self.process_id = process_id
+        self.result = result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Completion(#{self.request_id} -> h{self.origin_host}: {self.result!r})"
+
+
+class _Blocked:
+    """A parked ExecuteAGS awaiting a guard match."""
+
+    __slots__ = ("command",)
+
+    def __init__(self, command: ExecuteAGS):
+        self.command = command
+
+
+class TSStateMachine:
+    """Deterministic executor of tuple-space commands over a registry.
+
+    Parameters
+    ----------
+    registry:
+        The space registry to execute against.  Replicas of a stable TS
+        group each own one registry; host-local volatile spaces use a
+        second, host-private machine.
+    failure_spaces:
+        Handles that receive the distinguished failure/recovery tuples.
+        Defaults to ``[MAIN_TS]``.
+    op_stats:
+        When True, counts per-opcode execution totals (used by the Table 1
+        benchmarks to confirm what actually ran).
+    """
+
+    def __init__(
+        self,
+        registry: SpaceRegistry | None = None,
+        failure_spaces: Sequence[TSHandle] | None = None,
+        *,
+        op_stats: bool = False,
+    ):
+        self.registry = registry if registry is not None else SpaceRegistry()
+        self.failure_spaces = list(failure_spaces) if failure_spaces else [MAIN_TS]
+        self.blocked: list[_Blocked] = []
+        self.applied_count = 0
+        self.op_counts: dict[str, int] | None = {} if op_stats else None
+
+    # ------------------------------------------------------------------ #
+    # command dispatch
+    # ------------------------------------------------------------------ #
+
+    def apply(self, command: Command) -> list[Completion]:
+        """Execute *command*; return completions it (transitively) produced.
+
+        A single command can complete several requests: depositing a tuple
+        may wake any number of blocked statements.  Completions are listed
+        in deterministic wake order.
+        """
+        completions: list[Completion] = []
+        if isinstance(command, ExecuteAGS):
+            result = self._try_execute(command.ags, command.process_id)
+            if result is None:
+                self.blocked.append(_Blocked(command))
+            else:
+                completions.append(
+                    Completion(
+                        command.request_id,
+                        command.origin_host,
+                        command.process_id,
+                        result,
+                    )
+                )
+                self._drain_blocked(completions)
+        elif isinstance(command, CreateSpace):
+            try:
+                result: Any = self.registry.create(
+                    command.name, command.resilience, command.scope, command.owner
+                )
+            except SpaceError as exc:
+                # deterministic failure: every replica takes this branch, so
+                # it must become a result, never an exception that could
+                # kill the delivery path
+                result = exc
+            completions.append(
+                Completion(command.request_id, command.origin_host, None, result)
+            )
+        elif isinstance(command, DestroySpace):
+            try:
+                self.registry.destroy(command.handle)
+                result = True
+            except SpaceError as exc:
+                result = exc
+            completions.append(
+                Completion(command.request_id, command.origin_host, None, result)
+            )
+            # destroying a space can never wake a guard, no drain needed
+        elif isinstance(command, CancelRequest):
+            target = command.target_request_id
+            for i, b in enumerate(self.blocked):
+                if b.command.request_id == target:
+                    del self.blocked[i]
+                    completions.append(
+                        Completion(
+                            target,
+                            b.command.origin_host,
+                            b.command.process_id,
+                            AGSResult(None, error="cancelled"),
+                        )
+                    )
+                    break
+        elif isinstance(command, HostFailed):
+            self._apply_host_failed(command)
+            self._drain_blocked(completions)
+        elif isinstance(command, HostRecovered):
+            self._deposit_notification(RECOVERY_TAG, command.recovered_host)
+            self._drain_blocked(completions)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown command type {type(command).__name__}")
+        self.applied_count += 1
+        return completions
+
+    def _apply_host_failed(self, command: HostFailed) -> None:
+        # Blocked statements from the dead host will never be claimed;
+        # dropping them is deterministic because HostFailed sits at a fixed
+        # point in the total order.
+        self.blocked = [
+            b
+            for b in self.blocked
+            if b.command.origin_host != command.failed_host
+        ]
+        self._deposit_notification(FAILURE_TAG, command.failed_host)
+
+    def _deposit_notification(self, tag: str, host_id: int) -> None:
+        for handle in self.failure_spaces:
+            if self.registry.exists(handle):
+                self.registry.store(handle).add(LindaTuple((tag, host_id)))
+
+    def _drain_blocked(self, completions: list[Completion]) -> None:
+        """Wake blocked statements, oldest first, until a fixpoint."""
+        progress = True
+        while progress:
+            progress = False
+            for i, blocked in enumerate(self.blocked):
+                cmd = blocked.command
+                result = self._try_execute(cmd.ags, cmd.process_id)
+                if result is not None:
+                    del self.blocked[i]
+                    completions.append(
+                        Completion(
+                            cmd.request_id, cmd.origin_host, cmd.process_id, result
+                        )
+                    )
+                    progress = True
+                    break  # restart scan: state changed
+
+    # ------------------------------------------------------------------ #
+    # AGS execution
+    # ------------------------------------------------------------------ #
+
+    def _count_op(self, code: OpCode) -> None:
+        if self.op_counts is not None:
+            self.op_counts[code.value] = self.op_counts.get(code.value, 0) + 1
+
+    def _resolve_ts(
+        self, operand: Any, env: Mapping[str, Any], accessor: int | None
+    ) -> TupleStore:
+        value = operand.evaluate(env)
+        if not isinstance(value, TSHandle):
+            raise SpaceError(f"operand {value!r} is not a tuple-space handle")
+        return self.registry.store(value, accessor=accessor)
+
+    def _try_execute(self, ags: AGS, process_id: int) -> AGSResult | None:
+        """Attempt the AGS against current state.
+
+        Returns ``None`` when every guard is blocking and none can fire
+        (caller parks the statement).  Otherwise returns the result —
+        including the no-branch-fired result for probe guards and the
+        aborted-and-rolled-back result for body failures.  Deterministic
+        execution errors (unknown space, scope violation) become aborted
+        results, never exceptions: every replica computes the same outcome.
+        """
+        for index, branch in enumerate(ags.branches):
+            guard = branch.guard
+            env: dict[str, Any] = {}
+            undo: list[tuple] = []
+            if guard.kind is GuardKind.TRUE:
+                fired = True
+            else:
+                op = guard.op
+                assert op is not None
+                self._count_op(op.code)
+                try:
+                    store = self._resolve_ts(op.ts, env, process_id)
+                    pattern = op.resolve_pattern(env)
+                except (SpaceError, FormalBindingError) as exc:
+                    return AGSResult(index, {}, {}, error=exc)
+                m = store.find(pattern, remove=op.code.withdraws)
+                if m is None:
+                    fired = False
+                else:
+                    fired = True
+                    env.update(m.binding)
+                    if op.code.withdraws:
+                        undo.append(("removed", store, m.seqno, m.tup))
+            if not fired:
+                continue
+            # guard fired: run the body atomically, rolling back on failure
+            error: str | Exception | None = None
+            probe_results: dict[int, bool] = {}
+            for i, op in enumerate(branch.body):
+                try:
+                    self._execute_body_op(op, env, undo, probe_results, i, process_id)
+                except _BodyAbort as abort:
+                    error = str(abort)
+                    break
+                except (FormalBindingError, SpaceError) as exc:
+                    error = exc
+                    break
+            if error is not None:
+                self._rollback(undo)
+                return AGSResult(index, {}, probe_results, error=error)
+            return AGSResult(index, env, probe_results)
+        # no guard fired
+        if ags.blocking:
+            return None
+        return AGSResult(None)
+
+    def _execute_body_op(
+        self,
+        op: Op,
+        env: dict[str, Any],
+        undo: list[tuple],
+        probe_results: dict[int, bool],
+        op_index: int,
+        process_id: int | None = None,
+    ) -> None:
+        self._count_op(op.code)
+        code = op.code
+        if code is OpCode.OUT:
+            store = self._resolve_ts(op.ts, env, process_id)
+            try:
+                tup = LindaTuple(op.resolve_values(env))
+            except TupleError as exc:
+                raise _BodyAbort(str(exc)) from None
+            seqno = store.add(tup)
+            undo.append(("added", store, seqno, tup))
+        elif code in (OpCode.IN, OpCode.RD, OpCode.INP, OpCode.RDP):
+            store = self._resolve_ts(op.ts, env, process_id)
+            pattern = op.resolve_pattern(env)
+            m = store.find(pattern, remove=code.withdraws)
+            if m is None:
+                if code.is_probe:
+                    probe_results[op_index] = False
+                    return
+                raise _BodyAbort(
+                    f"body {code.value} found no match for {pattern!r}"
+                )
+            if code.is_probe:
+                probe_results[op_index] = True
+            env.update(m.binding)
+            if code.withdraws:
+                undo.append(("removed", store, m.seqno, m.tup))
+        elif code in (OpCode.MOVE, OpCode.COPY):
+            src = self._resolve_ts(op.ts, env, process_id)
+            assert op.ts2 is not None
+            dst = self._resolve_ts(op.ts2, env, process_id)
+            pattern = op.resolve_pattern(env)
+            matches = src.find_all(pattern, remove=(code is OpCode.MOVE))
+            if code is OpCode.MOVE:
+                for m in matches:
+                    undo.append(("removed", src, m.seqno, m.tup))
+            for m in matches:
+                seqno = dst.add(m.tup)
+                undo.append(("added", dst, seqno, m.tup))
+        else:  # pragma: no cover - defensive
+            raise _BodyAbort(f"opcode {code.value} is not executable in a body")
+
+    @staticmethod
+    def _rollback(undo: list[tuple]) -> None:
+        """Reverse recorded effects, newest first (all-or-nothing)."""
+        for entry in reversed(undo):
+            kind, store, seqno, tup = entry
+            if kind == "added":
+                store.remove_seqno(seqno, tup)
+            else:  # "removed"
+                store.reinsert(seqno, tup)
+
+    # ------------------------------------------------------------------ #
+    # replication support
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict[str, Any]:
+        """State-transfer image: registry plus parked statements.
+
+        Blocked commands are part of replicated state — a recovering
+        replica must wake the same statements at the same points in the
+        order as everyone else.
+        """
+        return {
+            "registry": self.registry.snapshot(stable_only=False),
+            "blocked": [
+                (
+                    b.command.request_id,
+                    b.command.origin_host,
+                    b.command.process_id,
+                    b.command.ags,
+                )
+                for b in self.blocked
+            ],
+            "applied_count": self.applied_count,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: Mapping[str, Any], **kwargs: Any) -> "TSStateMachine":
+        sm = cls(SpaceRegistry.from_snapshot(snap["registry"]), **kwargs)
+        sm.blocked = [
+            _Blocked(ExecuteAGS(rid, host, pid, ags))
+            for rid, host, pid, ags in snap["blocked"]
+        ]
+        sm.applied_count = snap["applied_count"]
+        return sm
+
+    def fingerprint(self) -> int:
+        """Hash of all replicated state; equal across consistent replicas
+        — including replicas in different OS processes (no hash salting).
+        """
+        from repro.core.matching import stable_hash
+
+        acc = self.registry.fingerprint()
+        for i, b in enumerate(self.blocked):
+            acc ^= stable_hash((i, b.command.request_id, b.command.origin_host))
+        return acc
+
+
+class _BodyAbort(Exception):
+    """Internal: a body operation failed; the AGS must roll back."""

@@ -1,0 +1,182 @@
+"""A fluent builder for atomic guarded statements.
+
+The raw :mod:`repro.core.ags` classes are the compiled form; the textual
+front end (:mod:`repro.lcc`) mirrors the paper's notation.  This module is
+the third way in — a chainable Python DSL that reads like the paper but
+stays in Python::
+
+    from repro.dsl import when, true, out, in_, rd, inp, move
+
+    stmt = (
+        when(in_(ts, "count", ("old", int)))
+        .do(out(ts, "count", var("old") + 1))
+        .build()
+    )
+
+    poll = (
+        when(inp(ts, "job", ("j", int))).do(out(ts, "taken", var("j")))
+        .orelse(true().do(out(ts, "idle", 1)))
+        .build()
+    )
+
+Formals are written as ``("name", type)`` pairs, anonymous ones as a bare
+type (``int``); ``var("name")`` references a bound formal in later
+operands.  Everything compiles down to the exact same
+:class:`~repro.core.ags.AGS` objects as the other two front ends — tests
+assert the three produce identical statements.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro._errors import AGSError
+from repro.core.ags import (
+    AGS,
+    Branch,
+    FormalRef,
+    Guard,
+    GuardKind,
+    Op,
+    OpCode,
+)
+from repro.core.spaces import TSHandle
+from repro.core.tuples import ALLOWED_FIELD_TYPES, Formal
+
+__all__ = [
+    "AGSBuilder",
+    "atomic",
+    "copy",
+    "in_",
+    "inp",
+    "move",
+    "out",
+    "rd",
+    "rdp",
+    "true",
+    "var",
+    "when",
+]
+
+
+def var(name: str) -> FormalRef:
+    """Reference a formal bound earlier in the branch (``ref`` alias)."""
+    return FormalRef(name)
+
+
+def _field(spec: Any) -> Any:
+    """Translate a DSL field spec into a core field.
+
+    ``("name", type)`` → named formal; a bare type → anonymous formal;
+    anything else passes through (constants, operands).
+    """
+    if isinstance(spec, tuple) and len(spec) == 2 and isinstance(spec[0], str):
+        name, ftype = spec
+        if isinstance(ftype, type):
+            return Formal(ftype, name)
+    if isinstance(spec, type):
+        if spec is not object and spec not in ALLOWED_FIELD_TYPES:
+            raise AGSError(f"{spec!r} is not a valid formal type")
+        return Formal(spec)
+    return spec
+
+
+def _op(code: OpCode, ts: TSHandle, fields: tuple, ts2: TSHandle | None = None) -> Op:
+    return Op(code, ts, [_field(f) for f in fields], ts2=ts2)
+
+
+def out(ts: TSHandle, *fields: Any) -> Op:
+    """``out(ts, …)`` — deposit."""
+    return _op(OpCode.OUT, ts, fields)
+
+
+def in_(ts: TSHandle, *fields: Any) -> Op:
+    """``in(ts, …)`` — blocking withdraw (as guard) / must-match (in body)."""
+    return _op(OpCode.IN, ts, fields)
+
+
+def rd(ts: TSHandle, *fields: Any) -> Op:
+    """``rd(ts, …)`` — blocking read."""
+    return _op(OpCode.RD, ts, fields)
+
+
+def inp(ts: TSHandle, *fields: Any) -> Op:
+    """``inp(ts, …)`` — non-blocking withdraw, strong semantics."""
+    return _op(OpCode.INP, ts, fields)
+
+
+def rdp(ts: TSHandle, *fields: Any) -> Op:
+    """``rdp(ts, …)`` — non-blocking read, strong semantics."""
+    return _op(OpCode.RDP, ts, fields)
+
+
+def move(src: TSHandle, dst: TSHandle, *fields: Any) -> Op:
+    """``move(src, dst, pattern)`` — transfer all matches atomically."""
+    return _op(OpCode.MOVE, src, fields, ts2=dst)
+
+
+def copy(src: TSHandle, dst: TSHandle, *fields: Any) -> Op:
+    """``copy(src, dst, pattern)`` — duplicate all matches atomically."""
+    return _op(OpCode.COPY, src, fields, ts2=dst)
+
+
+class _BranchBuilder:
+    """One ``guard`` waiting for its ``.do(body)``."""
+
+    def __init__(self, parent: "AGSBuilder", guard: Guard):
+        self._parent = parent
+        self._guard = guard
+        self._body: list[Op] = []
+        parent._branches.append(self)
+
+    def do(self, *body: Op) -> "AGSBuilder":
+        """Attach the branch body; returns the statement builder."""
+        self._body = list(body)
+        return self._parent
+
+    def _build(self) -> Branch:
+        return Branch(self._guard, self._body)
+
+
+class AGSBuilder:
+    """Accumulates branches; ``build()`` validates and compiles."""
+
+    def __init__(self) -> None:
+        self._branches: list[_BranchBuilder] = []
+
+    def when(self, guard_op: Op) -> _BranchBuilder:
+        """Add a branch guarded by a tuple operation."""
+        if guard_op.code not in (OpCode.IN, OpCode.RD, OpCode.INP, OpCode.RDP):
+            raise AGSError(f"{guard_op.code.value} cannot guard a branch")
+        return _BranchBuilder(self, Guard(GuardKind.OP, guard_op))
+
+    def true(self) -> _BranchBuilder:
+        """Add an unconditional branch."""
+        return _BranchBuilder(self, Guard.true())
+
+    def orelse(self, other: "AGSBuilder | _BranchBuilder") -> "AGSBuilder":
+        """Append another builder's branches as lower-priority alternatives."""
+        src = other if isinstance(other, AGSBuilder) else other._parent
+        if src is not self:
+            self._branches.extend(src._branches)
+        return self
+
+    def build(self) -> AGS:
+        if not self._branches:
+            raise AGSError("no branches: use when()/true() first")
+        return AGS([b._build() for b in self._branches])
+
+
+def when(guard_op: Op) -> _BranchBuilder:
+    """Start a statement: ``when(in_(ts, …)).do(out(ts, …)).build()``."""
+    return AGSBuilder().when(guard_op)
+
+
+def true() -> _BranchBuilder:
+    """Start an unconditional statement: ``true().do(…).build()``."""
+    return AGSBuilder().true()
+
+
+def atomic(*body: Op) -> AGS:
+    """Shorthand for ``true().do(*body).build()``."""
+    return true().do(*body).build()

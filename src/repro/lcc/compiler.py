@@ -1,0 +1,304 @@
+"""Compiler: FT-lcc AST → the runtime's compiled AGS representation.
+
+Performs what the paper describes FT-lcc doing (Sec. 5.2):
+
+1. **signature cataloging** — every distinct pattern signature used by a
+   matching operation is recorded in a :class:`SignatureCatalog` ("an
+   ordered list of the types for each distinct pattern … used primarily
+   for matching purposes");
+2. **request-block generation** — each statement becomes the
+   :class:`~repro.core.ags.AGS` opcode/operand structure the runtimes
+   marshal into a single multicast message.
+
+Name resolution: identifiers in TS position resolve against the *spaces*
+mapping (``{"main": MAIN_TS, …}``) first, then against formals bound
+earlier in the branch (dynamic TS handles); identifiers in value position
+resolve to bound formals.  Constant subexpressions are folded at compile
+time, so replicas never re-evaluate pure-literal arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro._errors import AGSError, CompileError
+from repro.core.ags import (
+    AGS,
+    Branch,
+    Const,
+    Expr,
+    FormalRef,
+    Guard,
+    GuardKind,
+    Op,
+    OpCode,
+    Operand,
+)
+from repro.core.spaces import TSHandle
+from repro.core.tuples import Formal
+from repro.lcc.ast_nodes import (
+    AGSNode,
+    ArgNode,
+    BinOpNode,
+    BranchNode,
+    CallNode,
+    FormalNode,
+    GuardNode,
+    LiteralNode,
+    OpNode,
+    UnaryNode,
+    VarNode,
+)
+from repro.lcc.parser import parse_ags
+
+__all__ = ["SignatureCatalog", "compile_ags", "compile_op"]
+
+_TYPE_NAMES: dict[str, type] = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "string": str,
+    "bytes": bytes,
+    "bool": bool,
+    "tuple": tuple,
+    "any": object,
+    "ts": TSHandle,
+}
+
+_BINOP_FN = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "truediv",
+    "//": "floordiv",
+    "%": "mod",
+    "==": "eq",
+    "!=": "ne",
+    "<=": "le",
+    ">=": "ge",
+    "<": "lt",
+    ">": "gt",
+}
+
+_OPCODES = {
+    "out": OpCode.OUT,
+    "in": OpCode.IN,
+    "rd": OpCode.RD,
+    "inp": OpCode.INP,
+    "rdp": OpCode.RDP,
+    "move": OpCode.MOVE,
+    "copy": OpCode.COPY,
+}
+
+
+class SignatureCatalog:
+    """FT-lcc's registry of distinct pattern signatures.
+
+    Signatures are numbered in first-use order; the runtime's matching
+    index keys on the same signature tuples, so the catalog doubles as a
+    cross-check in tests that textual and builder programs agree.
+    """
+
+    def __init__(self) -> None:
+        self._ids: dict[tuple[str, ...], int] = {}
+
+    def register(self, signature: tuple[str, ...]) -> int:
+        """Record *signature*; returns its stable catalog id."""
+        if signature not in self._ids:
+            self._ids[signature] = len(self._ids)
+        return self._ids[signature]
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, signature: tuple[str, ...]) -> bool:
+        return signature in self._ids
+
+    def signatures(self) -> list[tuple[str, ...]]:
+        """All signatures, in catalog-id order."""
+        return sorted(self._ids, key=self._ids.__getitem__)
+
+
+class _BranchCompiler:
+    """Compiles one branch, tracking which formal names are bound."""
+
+    def __init__(self, spaces: Mapping[str, TSHandle], catalog: SignatureCatalog):
+        self.spaces = spaces
+        self.catalog = catalog
+        self.bound: set[str] = set()
+
+    # -- arguments ------------------------------------------------------- #
+
+    def compile_value(self, node: ArgNode) -> Operand:
+        """Compile an argument in *value* position (no formals allowed)."""
+        if isinstance(node, LiteralNode):
+            return Const(node.value)
+        if isinstance(node, VarNode):
+            if node.name in self.spaces:
+                return Const(self.spaces[node.name])
+            if node.name in self.bound:
+                return FormalRef(node.name)
+            raise CompileError(
+                f"unknown name {node.name!r} (not a tuple space, not a "
+                "formal bound earlier in this branch)",
+                node.line,
+                node.column,
+            )
+        if isinstance(node, UnaryNode):
+            inner = self.compile_value(node.operand)
+            return self._fold(Expr("neg", (inner,)))
+        if isinstance(node, BinOpNode):
+            fn = _BINOP_FN[node.op]
+            left = self.compile_value(node.left)
+            right = self.compile_value(node.right)
+            return self._fold(Expr(fn, (left, right)))
+        if isinstance(node, CallNode):
+            args = [self.compile_value(a) for a in node.args]
+            try:
+                return self._fold(Expr(node.fn, args))
+            except AGSError as exc:
+                raise CompileError(str(exc), node.line, node.column) from None
+        raise CompileError("formals are not valid here", node.line, node.column)
+
+    @staticmethod
+    def _fold(expr: Expr) -> Operand:
+        """Constant-fold expressions whose arguments are all literals."""
+        if all(isinstance(a, Const) for a in expr.args):
+            try:
+                return Const(expr.evaluate({}))
+            except Exception:
+                return expr  # runtime error stays a runtime error
+        return expr
+
+    def compile_field(self, node: ArgNode) -> Any:
+        """Compile a field: a formal or a value operand."""
+        if isinstance(node, FormalNode):
+            if node.type_name is not None:
+                t = _TYPE_NAMES.get(node.type_name)
+                if t is None:
+                    raise CompileError(
+                        f"unknown type {node.type_name!r}", node.line, node.column
+                    )
+            else:
+                t = object
+            if node.name is not None:
+                if node.name in self.bound:
+                    raise CompileError(
+                        f"formal {node.name!r} already bound in this branch",
+                        node.line,
+                        node.column,
+                    )
+                self.bound.add(node.name)
+            return Formal(t, node.name)
+        return self.compile_value(node)
+
+    # -- operations -------------------------------------------------------- #
+
+    def compile_ts(self, node: ArgNode) -> Operand:
+        operand = self.compile_value(node)
+        if isinstance(operand, Const) and not isinstance(operand.value, TSHandle):
+            raise CompileError(
+                f"{operand.value!r} is not a tuple space", node.line, node.column
+            )
+        return operand
+
+    def compile_op(self, node: OpNode) -> Op:
+        code = _OPCODES[node.opname]
+        ts = self.compile_ts(node.ts_args[0])
+        ts2 = self.compile_ts(node.ts_args[1]) if len(node.ts_args) > 1 else None
+        fields = [self.compile_field(a) for a in node.args]
+        try:
+            op = Op(code, ts, fields, ts2=ts2)
+        except AGSError as exc:
+            raise CompileError(str(exc), node.line, node.column) from None
+        if code is not OpCode.OUT:
+            self.catalog.register(self._signature(fields))
+        return op
+
+    @staticmethod
+    def _signature(fields: list[Any]) -> tuple[str, ...]:
+        sig: list[str] = []
+        for f in fields:
+            if isinstance(f, Formal):
+                sig.append("?" if not f.typed else f.ftype.__name__)
+            elif isinstance(f, Const):
+                sig.append(type(f.value).__name__)
+            else:
+                sig.append("*")  # value computed at run time
+        return tuple(sig)
+
+
+def compile_ags(
+    src: str,
+    spaces: Mapping[str, TSHandle],
+    catalog: SignatureCatalog | None = None,
+) -> AGS:
+    """Compile statement text into an executable :class:`AGS`.
+
+    Parameters
+    ----------
+    src:
+        The statement, e.g. ``'< in(main,"c",?v:int) => out(main,"c",v+1) >'``.
+    spaces:
+        Name → handle mapping for every tuple space the text mentions.
+    catalog:
+        Optional :class:`SignatureCatalog` accumulating pattern signatures
+        across many compilations (as FT-lcc does per program).
+    """
+    tree = parse_ags(src)
+    if catalog is None:
+        catalog = SignatureCatalog()
+    return _compile_tree(tree, spaces, catalog)
+
+
+def _compile_tree(
+    tree: AGSNode, spaces: Mapping[str, TSHandle], catalog: SignatureCatalog
+) -> AGS:
+    branches: list[Branch] = []
+    for bnode in tree.branches:
+        bc = _BranchCompiler(spaces, catalog)
+        gop = bnode.guard.op
+        if (
+            gop is not None
+            and gop.opname in ("out", "move", "copy")
+            and not bnode.body
+        ):
+            # bare `out(...)` / `move(...)` statement: sugar for true => op
+            guard = Guard.true()
+            body = [bc.compile_op(gop)]
+            branches.append(Branch(guard, body))
+            continue
+        guard = _compile_guard(bc, bnode.guard)
+        body = [bc.compile_op(op) for op in bnode.body]
+        try:
+            branches.append(Branch(guard, body))
+        except AGSError as exc:
+            raise CompileError(str(exc), bnode.line, bnode.column) from None
+    try:
+        return AGS(branches)
+    except AGSError as exc:
+        raise CompileError(str(exc), tree.line, tree.column) from None
+
+
+def _compile_guard(bc: _BranchCompiler, gnode: GuardNode) -> Guard:
+    if gnode.op is None:
+        return Guard.true()
+    op = bc.compile_op(gnode.op)
+    if op.code not in (OpCode.IN, OpCode.RD, OpCode.INP, OpCode.RDP):
+        raise CompileError(
+            f"{op.code.value} cannot be a guard", gnode.line, gnode.column
+        )
+    return Guard(GuardKind.OP, op)
+
+
+def compile_op(src: str, spaces: Mapping[str, TSHandle]) -> Op:
+    """Compile a single operation call, e.g. ``'out(main, "x", 1)'``."""
+    tree = parse_ags(src)
+    if (
+        len(tree.branches) != 1
+        or tree.branches[0].body
+        or tree.branches[0].guard.op is None
+    ):
+        raise CompileError("expected exactly one operation call")
+    bc = _BranchCompiler(spaces, SignatureCatalog())
+    return bc.compile_op(tree.branches[0].guard.op)

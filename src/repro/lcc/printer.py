@@ -1,0 +1,149 @@
+"""Pretty-printer: compiled AGS back to FT-lcc statement text.
+
+The inverse of :func:`repro.lcc.compiler.compile_ags` — useful for
+debugging, for logging the statements a runtime executes, and for the
+round-trip property tests (``compile(print(ags)) == ags``).
+
+The printer needs a reverse mapping from tuple-space handles to names;
+unknown handles print as ``ts#<id>`` and make the output non-compilable
+(flagged by :func:`printable`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.ags import (
+    AGS,
+    Branch,
+    Const,
+    Expr,
+    FormalRef,
+    Guard,
+    GuardKind,
+    Op,
+    Operand,
+)
+from repro.core.spaces import TSHandle
+from repro.core.tuples import Formal, type_name
+
+__all__ = ["print_ags", "printable"]
+
+_BIN = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "truediv": "/",
+    "floordiv": "//",
+    "mod": "%",
+    "eq": "==",
+    "ne": "!=",
+    "le": "<=",
+    "ge": ">=",
+    "lt": "<",
+    "gt": ">",
+}
+
+#: precedence levels for parenthesization (higher binds tighter)
+_PREC = {
+    "==": 1, "!=": 1, "<=": 1, ">=": 1, "<": 1, ">": 1,
+    "+": 2, "-": 2,
+    "*": 3, "/": 3, "//": 3, "%": 3,
+}
+
+
+def print_ags(ags: AGS, names: Mapping[TSHandle, str]) -> str:
+    """Render *ags* as FT-lcc statement text.
+
+    *names* maps each handle the statement touches to its source name
+    (the inverse of the *spaces* mapping given to ``compile_ags``).
+    """
+    branches = " or ".join(_branch(b, names) for b in ags.branches)
+    return f"< {branches} >"
+
+
+def printable(ags: AGS, names: Mapping[TSHandle, str]) -> bool:
+    """True when every construct in *ags* has a textual form under *names*."""
+    try:
+        text = print_ags(ags, names)
+    except _Unprintable:
+        return False
+    return "ts#" not in text
+
+
+class _Unprintable(Exception):
+    pass
+
+
+def _branch(branch: Branch, names: Mapping[TSHandle, str]) -> str:
+    guard = (
+        "true"
+        if branch.guard.kind is GuardKind.TRUE
+        else _op(branch.guard.op, names)  # type: ignore[arg-type]
+    )
+    if not branch.body:
+        return guard
+    body = "; ".join(_op(op, names) for op in branch.body)
+    return f"{guard} => {body}"
+
+
+def _op(op: Op, names: Mapping[TSHandle, str]) -> str:
+    parts = [_ts(op.ts, names)]
+    if op.ts2 is not None:
+        parts.append(_ts(op.ts2, names))
+    for f in op.fields:
+        parts.append(_field(f, names))
+    return f"{op.code.value}({', '.join(parts)})"
+
+
+def _ts(operand: Operand, names: Mapping[TSHandle, str]) -> str:
+    if isinstance(operand, Const) and isinstance(operand.value, TSHandle):
+        name = names.get(operand.value)
+        return name if name is not None else f"ts#{operand.value.id}"
+    if isinstance(operand, FormalRef):
+        return operand.name
+    raise _Unprintable(f"tuple-space operand {operand!r}")
+
+
+def _field(field: Any, names: Mapping[TSHandle, str]) -> str:
+    if isinstance(field, Formal):
+        t = "" if not field.typed else f":{type_name(field.ftype)}"
+        return f"?{field.name or ''}{t}"
+    return _expr(field, names, 0)
+
+
+def _expr(operand: Operand, names: Mapping[TSHandle, str], parent_prec: int) -> str:
+    if isinstance(operand, Const):
+        return _literal(operand.value, names)
+    if isinstance(operand, FormalRef):
+        return operand.name
+    if isinstance(operand, Expr):
+        if operand.fn == "neg":
+            inner = _expr(operand.args[0], names, 99)
+            return f"-{inner}"
+        sym = _BIN.get(operand.fn)
+        if sym is not None and len(operand.args) == 2:
+            prec = _PREC[sym]
+            left = _expr(operand.args[0], names, prec)
+            right = _expr(operand.args[1], names, prec + 1)
+            text = f"{left} {sym} {right}"
+            return f"({text})" if prec < parent_prec else text
+        args = ", ".join(_expr(a, names, 0) for a in operand.args)
+        return f"{operand.fn}({args})"
+    raise _Unprintable(f"operand {operand!r}")
+
+
+def _literal(value: Any, names: Mapping[TSHandle, str]) -> str:
+    if isinstance(value, TSHandle):
+        name = names.get(value)
+        return name if name is not None else f"ts#{value.id}"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        # negative literals print as unary minus, which the grammar accepts
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+        return f'"{escaped}"'
+    raise _Unprintable(f"literal {value!r} has no textual form")

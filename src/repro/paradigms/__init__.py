@@ -1,0 +1,38 @@
+"""Linda programming paradigms, in their fault-tolerant FT-Linda form.
+
+Section 4 of the paper shows how the two FT-Linda enhancements — stable
+tuple spaces and atomic guarded statements — turn the classic Linda
+paradigms into fault-tolerant ones.  This package implements each of them
+against the backend-independent :class:`~repro.core.runtime.BaseRuntime`
+API, so the same code runs on the local, threaded-replica, and
+multiprocessing backends:
+
+- :mod:`repro.paradigms.distvar` — the distributed variable (Sec. 2.2's
+  motivating table: initialization / inspection / atomic update);
+- :mod:`repro.paradigms.bag_of_tasks` — the bag-of-tasks / replicated
+  worker paradigm with in-progress tuples and a failure monitor (Sec. 4);
+- :mod:`repro.paradigms.divide_conquer` — fault-tolerant divide and
+  conquer (Sec. 4.1);
+- :mod:`repro.paradigms.barrier` — reusable barrier synchronization;
+- :mod:`repro.paradigms.replicated_server` — a primary/backup service
+  whose failover is driven by the failure tuple.
+"""
+
+from repro.paradigms.bag_of_tasks import BagOfTasks, run_bag_of_tasks
+from repro.paradigms.barrier import Barrier
+from repro.paradigms.consensus import Consensus
+from repro.paradigms.distvar import DistributedVariable
+from repro.paradigms.divide_conquer import run_divide_conquer
+from repro.paradigms.replicated_server import ReplicatedServer
+from repro.paradigms.streams import TupleStream
+
+__all__ = [
+    "BagOfTasks",
+    "Barrier",
+    "Consensus",
+    "DistributedVariable",
+    "ReplicatedServer",
+    "TupleStream",
+    "run_bag_of_tasks",
+    "run_divide_conquer",
+]

@@ -1,0 +1,98 @@
+"""Distributed consensus on tuple space — possible only with AGS.
+
+The paper's sharpest motivation for multi-op atomicity (Sec. 2.2):
+"distributed consensus, in which multiple processes in a distributed
+system reach agreement on some common value, is an important building
+block for many fault-tolerant systems.  However, Linda with single-op
+atomicity has been shown to be insufficient to reach distributed
+consensus with more than two processes in the presence of failures"
+(citing Segall [38]).
+
+With an AGS the construction is three lines.  Every participant:
+
+1. deposits its proposal;
+2. runs the *decide* statement — a disjunction that atomically either
+   observes an existing decision or converts the oldest proposal into
+   the decision::
+
+       < rdp(ts, name, "decision", ?d)                      # already decided
+         or in(ts, name, "proposal", ?pid, ?v)
+              => out(ts, name, "decision", v) >             # decide now
+
+3. reads the decision.
+
+The total order serializes the decide statements: exactly one executes
+its second branch, every later one hits the first.  Crashes anywhere are
+harmless — a participant that dies before deciding left only its proposal
+behind; one that dies after deciding left the decision for everyone.
+**Agreement**, **validity** (the decision is someone's proposal) and
+**wait-freedom for survivors** follow directly from AGS atomicity; the
+property tests drive all three.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.ags import AGS, Branch, Guard, Op, ref
+from repro.core.spaces import TSHandle
+from repro.core.tuples import formal
+
+__all__ = ["Consensus"]
+
+
+class Consensus:
+    """One single-shot consensus instance named *name* in space *ts*."""
+
+    def __init__(self, ts: TSHandle, name: str):
+        self.ts = ts
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # the three steps
+    # ------------------------------------------------------------------ #
+
+    def propose(self, api: Any, pid: int, value: Any) -> None:
+        """Step 1: make *value* available as a proposal."""
+        api.out(self.ts, self.name, "proposal", pid, value)
+
+    def decide_statement(self) -> AGS:
+        """Step 2's AGS (exposed so tests/benchmarks can inspect it).
+
+        A fully *blocking* disjunction: it waits until either a decision
+        exists (first branch, non-destructive read) or some proposal does
+        (second branch, which converts it into the decision atomically).
+        """
+        return AGS([
+            Branch(
+                Guard.rd(self.ts, self.name, "decision", formal(object, "d")),
+                [],
+            ),
+            Branch(
+                Guard.in_(
+                    self.ts, self.name, "proposal",
+                    formal(int, "pid"), formal(object, "v"),
+                ),
+                [Op.out(self.ts, self.name, "decision", ref("v"))],
+            ),
+        ])
+
+    def decide(self, api: Any) -> Any:
+        """Steps 2+3: run the decide statement; returns the agreed value.
+
+        Safe to call any number of times from any number of processes;
+        all callers return the same value.  Blocks until at least one
+        proposal (or a decision) exists.
+        """
+        res = api.execute(self.decide_statement())
+        return res["d"] if res.fired == 0 else res["v"]
+
+    def agree(self, api: Any, pid: int, value: Any) -> Any:
+        """The full protocol: propose *value*, then decide."""
+        self.propose(api, pid, value)
+        return self.decide(api)
+
+    def decided_value(self, api: Any) -> Any | None:
+        """Peek: the decision if one exists, else None (strong rdp)."""
+        t = api.rdp(self.ts, self.name, "decision", formal())
+        return None if t is None else t[2]

@@ -1,0 +1,160 @@
+"""Synchronization primitives on tuple space: semaphore, mutex, RW lock.
+
+Classic Linda folklore builds these from bare ``in``/``out`` — a semaphore
+is "a tuple you withdraw to P and deposit to V".  The folklore versions
+inherit Sec. 2.2's crash window: a holder that dies between the ``in`` and
+the ``out`` leaks the permit forever.  The FT-Linda versions here fix the
+*structure* of that problem the same way the paper's paradigms do:
+
+- every acquisition atomically records **who holds what** (a holder tuple
+  next to the withdrawn permit, one AGS), so the standard failure monitor
+  pattern can release a dead holder's permits from its failure tuple;
+- :meth:`Semaphore.release_holder` is exactly that monitor action — one
+  atomic statement converting a holder record back into a permit.
+
+The read-write lock composes the semaphore with a turnstile tuple: a
+writer closes the turnstile (no new readers) and drains the permit pool
+with blocking acquires — every step crash-recoverable by the same holder
+discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.ags import AGS, Branch, Guard, Op
+from repro.core.spaces import TSHandle
+__all__ = ["Mutex", "RWLock", "Semaphore"]
+
+
+class Semaphore:
+    """A counting semaphore with crash-recoverable holder records."""
+
+    def __init__(self, ts: TSHandle, name: str, permits: int):
+        if permits < 1:
+            raise ValueError("need at least one permit")
+        self.ts = ts
+        self.name = name
+        self.permits = permits
+
+    def create(self, api: Any) -> None:
+        for _ in range(self.permits):
+            api.out(self.ts, self.name, "permit")
+
+    # ------------------------------------------------------------------ #
+
+    def acquire(self, api: Any, holder: int) -> None:
+        """P: withdraw a permit AND record the holder, in one statement."""
+        api.execute(AGS.single(
+            Guard.in_(self.ts, self.name, "permit"),
+            [Op.out(self.ts, self.name, "holder", holder)],
+        ))
+
+    def release(self, api: Any, holder: int) -> None:
+        """V: retire our holder record and return the permit, atomically."""
+        res = api.execute(AGS.single(
+            Guard.in_(self.ts, self.name, "holder", holder),
+            [Op.out(self.ts, self.name, "permit")],
+        ))
+        assert res.succeeded
+
+    def try_acquire(self, api: Any, holder: int) -> bool:
+        """Non-blocking P with strong probe semantics."""
+        res = api.execute(AGS([
+            Branch(
+                Guard.inp(self.ts, self.name, "permit"),
+                [Op.out(self.ts, self.name, "holder", holder)],
+            ),
+            Branch(Guard.true(), []),
+        ]))
+        return res.fired == 0
+
+    # ------------------------------------------------------------------ #
+    # the failure-monitor hook
+    # ------------------------------------------------------------------ #
+
+    def release_holder(self, api: Any, holder: int) -> int:
+        """Release every permit *holder* held (run on its failure tuple).
+
+        Returns how many permits were recovered.  Each recovery is one
+        atomic statement, so a monitor crash mid-recovery loses nothing.
+        """
+        recovered = 0
+        while True:
+            res = api.execute(AGS([
+                Branch(
+                    Guard.inp(self.ts, self.name, "holder", holder),
+                    [Op.out(self.ts, self.name, "permit")],
+                ),
+                Branch(Guard.true(), []),
+            ]))
+            if res.fired != 0:
+                return recovered
+            recovered += 1
+
+    def available(self, api: Any) -> int:
+        """Permits currently free (an instantaneous strong-probe count)."""
+        n = 0
+        taken = []
+        while api.inp(self.ts, self.name, "permit") is not None:
+            taken.append(1)
+            n += 1
+        for _ in taken:
+            api.out(self.ts, self.name, "permit")
+        return n
+
+
+class Mutex(Semaphore):
+    """A binary semaphore."""
+
+    def __init__(self, ts: TSHandle, name: str):
+        super().__init__(ts, name, permits=1)
+
+
+class RWLock:
+    """A readers-writer lock from one pool of reader permits.
+
+    Readers pass a turnstile and take one permit; a writer withdraws the
+    turnstile (blocking new readers) and drains every permit, so write
+    exclusivity is the empty pool.  Writer preference, starvation-free for
+    bounded reader hold times.
+    """
+
+    def __init__(self, ts: TSHandle, name: str, max_readers: int = 8):
+        self.ts = ts
+        self.name = name
+        self.max_readers = max_readers
+        self.sem = Semaphore(ts, f"{name}.r", max_readers)
+
+    def create(self, api: Any) -> None:
+        self.sem.create(api)
+        api.out(self.ts, self.name, "turnstile")
+
+    def acquire_read(self, api: Any, holder: int) -> None:
+        # the turnstile keeps incoming readers from starving a writer that
+        # is draining permits: readers pass through it one at a time
+        api.rd(self.ts, self.name, "turnstile")
+        self.sem.acquire(api, holder)
+
+    def release_read(self, api: Any, holder: int) -> None:
+        self.sem.release(api, holder)
+
+    def acquire_write(self, api: Any, holder: int) -> None:
+        """Close the turnstile, then drain the permit pool.
+
+        With the turnstile closed no new reader can take a permit, so each
+        blocking acquire below waits only for *current* readers to finish;
+        the drain completes in at most max_readers wake-ups.  Each permit
+        taken is recorded with a holder tuple (the Semaphore's discipline),
+        so a writer crash mid-drain is recoverable the standard way.
+        """
+        api.in_(self.ts, self.name, "turnstile")
+        for _ in range(self.max_readers):
+            self.sem.acquire(api, holder)
+        api.out(self.ts, self.name, "writer", holder)
+
+    def release_write(self, api: Any, holder: int) -> None:
+        api.in_(self.ts, self.name, "writer", holder)
+        for _ in range(self.max_readers):
+            self.sem.release(api, holder)
+        api.out(self.ts, self.name, "turnstile")

@@ -1,0 +1,20 @@
+"""Real-parallelism backends: threads and multiprocessing.
+
+The simulated cluster (:mod:`repro.consul`) gives deterministic virtual
+time; these backends give actual concurrency on one machine, with the same
+:class:`~repro.core.runtime.BaseRuntime` API:
+
+- :class:`~repro.parallel.threaded.ThreadedReplicaRuntime` — N replica
+  state machines, each applied by its own thread, fed by an in-memory
+  totally ordered broadcast bus.  Crash a replica and the others carry
+  on; fingerprints verify convergence under real thread interleavings.
+- :class:`~repro.parallel.multiproc.MultiprocessRuntime` — replicas in
+  separate OS processes connected by queues; commands are pickled exactly
+  as they would be marshalled onto a network.  This is the
+  network-of-workstations substitute for running real parallel examples.
+"""
+
+from repro.parallel.multiproc import MultiprocessRuntime
+from repro.parallel.threaded import ThreadedReplicaRuntime
+
+__all__ = ["MultiprocessRuntime", "ThreadedReplicaRuntime"]

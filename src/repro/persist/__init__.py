@@ -1,0 +1,21 @@
+"""Log-based stable tuple space — the design alternative to replication.
+
+The paper chooses replication for stable tuple spaces and says why
+(Sec. 3): stable storage via logging serves a single processor, but "in
+situations where stable values must also be shared among multiple
+processors — as is the case here — replication is a more appropriate
+choice."  This package implements the road not taken, so the choice can
+be measured instead of asserted:
+
+- :class:`~repro.persist.wal.WALRuntime` — a LocalRuntime whose command
+  stream is written to a write-ahead log before execution; after a crash,
+  :meth:`~repro.persist.wal.WALRuntime.recover` replays the log into an
+  identical state (the state machine's determinism does the heavy
+  lifting — replay *is* re-execution);
+- the A5 ablation benchmark compares per-op overhead and recovery time
+  of logging (with and without fsync) against the replicated cluster.
+"""
+
+from repro.persist.wal import WALRuntime
+
+__all__ = ["WALRuntime"]

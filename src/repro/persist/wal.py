@@ -1,0 +1,199 @@
+"""Write-ahead-logged FT-Linda runtime (single-host stable storage).
+
+Design: the total order on a single host is the submission order under
+the runtime lock; we log every *state-changing* command (pickled,
+length-prefixed) before applying it.  Because the
+:class:`~repro.core.statemachine.TSStateMachine` is deterministic, crash
+recovery is simply replaying the surviving prefix of the log into a fresh
+machine — the same argument that makes replica state transfer sound makes
+log replay sound.
+
+What is and is not logged:
+
+- ``out``/``in``/``move``/… — anything that can change tuple state — is
+  logged, *including* statements that end up blocking (they are state:
+  a parked ``in`` must survive the crash, or a post-recovery ``out``
+  would mint a tuple the pre-crash program believed consumed);
+- probes and reads change nothing but still consume their place in the
+  order; logging them keeps replay literally identical, so we log
+  everything and measure the cost honestly;
+- ``fsync`` per record is the durability/latency knob (the A5 ablation's
+  axis): without it a crash can lose the OS-buffered suffix.
+
+Log format: 4-byte big-endian length + pickle, repeated.  A torn final
+record (crash mid-write) is detected and discarded during replay.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from typing import BinaryIO
+
+from repro.core.runtime import LocalRuntime
+from repro.core.statemachine import Command
+
+__all__ = ["WALRuntime"]
+
+_LEN = struct.Struct(">I")
+
+
+class _LoggingSM:
+    """State-machine proxy: append each command to the WAL, then apply.
+
+    Attribute access (get *and* set — e.g. the runtime rewriting
+    ``blocked`` on a timeout cancellation) is forwarded to the wrapped
+    machine, so the proxy is transparent to every LocalRuntime code path.
+    """
+
+    __slots__ = ("_outer", "_inner")
+
+    def __init__(self, outer: "WALRuntime", inner):
+        object.__setattr__(self, "_outer", outer)
+        object.__setattr__(self, "_inner", inner)
+
+    def apply(self, command):
+        self._outer._append(command)
+        return self._inner.apply(command)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __setattr__(self, name, value):
+        setattr(self._inner, name, value)
+
+
+class WALRuntime(LocalRuntime):
+    """A LocalRuntime with a write-ahead log and crash recovery.
+
+    Parameters
+    ----------
+    path:
+        Log file location; created (or appended to) as needed.
+    fsync:
+        When True every record is forced to disk before the command
+        executes — real stable storage, at real cost.  When False the OS
+        buffers writes (fast, but a crash can lose the tail).
+    """
+
+    def __init__(self, path: str, *, fsync: bool = True):
+        super().__init__()
+        self.path = path
+        self.fsync = fsync
+        self.records_written = 0
+        self._log: BinaryIO = open(path, "ab")
+
+    # ------------------------------------------------------------------ #
+    # logging hooks: wrap the state machine's apply under the lock
+    # ------------------------------------------------------------------ #
+
+    def _append(self, command: Command) -> None:
+        blob = pickle.dumps(command, protocol=pickle.HIGHEST_PROTOCOL)
+        self._log.write(_LEN.pack(len(blob)))
+        self._log.write(blob)
+        self._log.flush()
+        if self.fsync:
+            os.fsync(self._log.fileno())
+        self.records_written += 1
+
+    # LocalRuntime funnels every command through self._sm.apply (all under
+    # the runtime lock, so the log order IS the execution order); we
+    # intercept by shadowing the state machine with a logging proxy.
+    @property
+    def _sm(self):  # type: ignore[override]
+        return self._logging_sm
+
+    @_sm.setter
+    def _sm(self, machine) -> None:
+        object.__setattr__(self, "_logging_sm", _LoggingSM(self, machine))
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        self._log.close()
+
+    def crash(self) -> None:
+        """Simulate a crash: drop everything volatile, keep only the log."""
+        self._log.close()
+
+    @classmethod
+    def recover(cls, path: str, *, fsync: bool = True) -> "WALRuntime":
+        """Rebuild a runtime by replaying the log at *path*.
+
+        Replay applies each logged command to a fresh state machine in
+        order; determinism guarantees the rebuilt tuple state equals the
+        pre-crash state (parked statements included).  Blocked statements
+        whose clients died with the crash remain parked — exactly the
+        stable-TS semantics: the tuples and obligations survive, the
+        processes do not.
+        """
+        rt = cls.__new__(cls)
+        LocalRuntime.__init__(rt)
+        rt.path = path
+        rt.fsync = fsync
+        rt.records_written = 0
+        replayed = 0
+        with open(path, "rb") as f:
+            while True:
+                header = f.read(_LEN.size)
+                if len(header) < _LEN.size:
+                    break
+                (length,) = _LEN.unpack(header)
+                blob = f.read(length)
+                if len(blob) < length:
+                    break  # torn final record: crashed mid-write, discard
+                command = pickle.loads(blob)
+                if isinstance(command, _SnapshotRecord):
+                    # compaction head: restart replay from the snapshot
+                    from repro.core.statemachine import TSStateMachine
+
+                    rt._sm = TSStateMachine.from_snapshot(command.snapshot)
+                else:
+                    rt._logging_sm._inner.apply(command)
+                replayed += 1
+        # recovery completions are dropped: their clients are gone
+        rt._results.clear()
+        rt.replayed = replayed
+        rt._log = open(path, "ab")
+        return rt
+
+    # ------------------------------------------------------------------ #
+    # maintenance
+    # ------------------------------------------------------------------ #
+
+    def compact(self) -> int:
+        """Replace the log with a single snapshot-restore record.
+
+        Returns the number of records the compaction eliminated.  Uses the
+        state machine's snapshot as the new log head — replay of a
+        compacted log starts from the snapshot instead of genesis.
+        """
+        from repro.core.statemachine import TSStateMachine
+
+        with self._lock:
+            snapshot = self._logging_sm._inner.snapshot()
+            old = self.records_written
+            self._log.close()
+            with open(self.path, "wb") as f:
+                blob = pickle.dumps(
+                    _SnapshotRecord(snapshot), protocol=pickle.HIGHEST_PROTOCOL
+                )
+                f.write(_LEN.pack(len(blob)))
+                f.write(blob)
+                f.flush()
+                os.fsync(f.fileno())
+            self._log = open(self.path, "ab")
+            self.records_written = 1
+            return max(old - 1, 0)
+
+
+class _SnapshotRecord:
+    """A log record carrying a full state snapshot (compaction head)."""
+
+    __slots__ = ("snapshot",)
+
+    def __init__(self, snapshot: dict):
+        self.snapshot = snapshot

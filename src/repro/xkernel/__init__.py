@@ -1,0 +1,15 @@
+"""x-kernel analog: composable protocol stacks.
+
+The paper's implementation runs on the x-kernel [21], "an operating system
+kernel that provides support for composing network protocols".  This
+package reproduces the part FT-Linda relies on: protocols as objects with
+a uniform push/deliver interface, composed into a per-host stack, with
+messages that carry a header stack whose sizes are accounted for on the
+wire.  The Consul protocols (:mod:`repro.consul`) are written against this
+interface.
+"""
+
+from repro.xkernel.message import Message
+from repro.xkernel.protocol import Protocol, ProtocolStack
+
+__all__ = ["Message", "Protocol", "ProtocolStack"]

@@ -1,0 +1,73 @@
+"""Messages with a header stack and honest size accounting.
+
+x-kernel messages acquire a header per protocol layer on the way down and
+shed them on the way up.  We keep the same discipline so that the wire
+sizes used by the network model (and therefore the latency and message
+count results) include protocol overhead, not just payloads.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+__all__ = ["Message", "payload_size"]
+
+
+def payload_size(payload: Any) -> int:
+    """Size in bytes of *payload* when marshalled.
+
+    Pickle is our stand-in for the paper's marshalling; its output length
+    is deterministic for the value types used in commands, which keeps the
+    simulation reproducible.
+    """
+    return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+class Message:
+    """A payload plus a stack of (protocol-name, header, header-size).
+
+    ``size`` is the total bytes a frame carrying this message occupies —
+    payload plus every pushed header.
+    """
+
+    __slots__ = ("payload", "_payload_size", "_headers")
+
+    def __init__(self, payload: Any, size: int | None = None):
+        self.payload = payload
+        self._payload_size = payload_size(payload) if size is None else size
+        self._headers: list[tuple[str, Any, int]] = []
+
+    def push_header(self, proto: str, header: Any, size: int | None = None) -> None:
+        """Prepend *header* for layer *proto* (down the stack)."""
+        hsize = payload_size(header) if size is None else size
+        self._headers.append((proto, header, hsize))
+
+    def pop_header(self, proto: str) -> Any:
+        """Remove and return the topmost header, checking the layer name."""
+        if not self._headers:
+            raise ValueError(f"no headers left; {proto} expected one")
+        name, header, _size = self._headers.pop()
+        if name != proto:
+            raise ValueError(f"header belongs to {name}, not {proto}")
+        return header
+
+    def peek_header(self, proto: str) -> Any:
+        name, header, _size = self._headers[-1]
+        if name != proto:
+            raise ValueError(f"header belongs to {name}, not {proto}")
+        return header
+
+    @property
+    def size(self) -> int:
+        return self._payload_size + sum(h[2] for h in self._headers)
+
+    def copy(self) -> "Message":
+        """Shallow copy sharing the payload (broadcast fan-out)."""
+        m = Message(self.payload, self._payload_size)
+        m._headers = list(self._headers)
+        return m
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        layers = ">".join(h[0] for h in reversed(self._headers)) or "raw"
+        return f"Message[{layers}]({self.payload!r}, {self.size}B)"

@@ -1,0 +1,116 @@
+"""Protocol objects and per-host stacks.
+
+A :class:`Protocol` sits between an upper and a lower neighbor.  Sends go
+*down* (``from_upper``), deliveries go *up* (``from_lower``); each layer
+may consume, transform, reorder, or synthesize messages.  A
+:class:`ProtocolStack` wires a list of protocols (top first) and is what a
+:class:`~repro.consul.hosts.SimHost` owns.
+
+This mirrors the x-kernel's uniform protocol interface closely enough that
+the Consul layers (ordering, membership, replica) compose exactly as the
+paper's Figure of the implementation stack describes: FT-Linda library
+over Consul over the network, all on the x-kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.xkernel.message import Message
+
+__all__ = ["Protocol", "ProtocolStack"]
+
+
+class Protocol:
+    """One layer in a host's protocol graph.
+
+    Subclasses override :meth:`from_upper` (a send moving down) and
+    :meth:`from_lower` (a delivery moving up).  The default behavior is
+    pass-through, so trivially transparent layers need no code.
+    """
+
+    name = "protocol"
+
+    def __init__(self) -> None:
+        self.upper: Protocol | None = None
+        self.lower: Protocol | None = None
+
+    # -- wiring ---------------------------------------------------------- #
+
+    def connect_below(self, lower: "Protocol") -> None:
+        self.lower = lower
+        lower.upper = self
+
+    # -- data path -------------------------------------------------------- #
+
+    def from_upper(self, msg: Message, **kw: Any) -> None:
+        """Handle a send from the layer above (default: pass down)."""
+        self.send_down(msg, **kw)
+
+    def from_lower(self, msg: Message, **kw: Any) -> None:
+        """Handle a delivery from the layer below (default: pass up)."""
+        self.deliver_up(msg, **kw)
+
+    def send_down(self, msg: Message, **kw: Any) -> None:
+        if self.lower is None:
+            raise RuntimeError(f"{self.name}: no lower protocol to send to")
+        self.lower.from_upper(msg, **kw)
+
+    def deliver_up(self, msg: Message, **kw: Any) -> None:
+        if self.upper is None:
+            raise RuntimeError(f"{self.name}: no upper protocol to deliver to")
+        self.upper.from_lower(msg, **kw)
+
+    # -- control plane ----------------------------------------------------- #
+
+    def start(self) -> None:
+        """Called once the whole stack is wired and the host is up."""
+
+    def host_crashed(self) -> None:
+        """Called when the owning host crashes (drop all soft state)."""
+
+    def host_recovered(self) -> None:
+        """Called when the owning host restarts."""
+
+
+class ProtocolStack:
+    """An ordered composition of protocols, top (application side) first."""
+
+    def __init__(self, layers: Sequence[Protocol]):
+        if not layers:
+            raise ValueError("a protocol stack needs at least one layer")
+        self.layers = list(layers)
+        for upper, lower in zip(self.layers, self.layers[1:]):
+            upper.connect_below(lower)
+
+    @property
+    def top(self) -> Protocol:
+        return self.layers[0]
+
+    @property
+    def bottom(self) -> Protocol:
+        return self.layers[-1]
+
+    def find(self, proto_type: type) -> Any:
+        """The unique layer of *proto_type* in this stack."""
+        hits = [p for p in self.layers if isinstance(p, proto_type)]
+        if len(hits) != 1:
+            raise LookupError(
+                f"expected exactly one {proto_type.__name__}, found {len(hits)}"
+            )
+        return hits[0]
+
+    def start(self) -> None:
+        for p in reversed(self.layers):
+            p.start()
+
+    def host_crashed(self) -> None:
+        for p in self.layers:
+            p.host_crashed()
+
+    def host_recovered(self) -> None:
+        for p in reversed(self.layers):
+            p.host_recovered()
+
+    def __iter__(self) -> Iterable[Protocol]:
+        return iter(self.layers)

@@ -1,0 +1,134 @@
+"""Tests for ftlsh, the interactive FT-Linda shell."""
+
+import io
+
+import pytest
+
+from repro.cli import FtlShell, _parse_value
+
+
+@pytest.fixture
+def shell():
+    out = io.StringIO()
+    sh = FtlShell(out=out)
+    return sh, out
+
+
+def lines_of(out: io.StringIO) -> list[str]:
+    return [l for l in out.getvalue().splitlines() if l.strip()]
+
+
+class TestStatements:
+    def test_out_and_in(self, shell):
+        sh, out = shell
+        sh.handle('out(main, "x", 1)')
+        sh.handle('< in(main, "x", ?v:int) >')
+        text = out.getvalue()
+        assert "ok" in text
+        assert "v=1" in text
+
+    def test_probe_miss_reports_no_branch(self, shell):
+        sh, out = shell
+        sh.handle('< inp(main, "missing", ?v:int) >')
+        assert "no branch fired" in out.getvalue()
+
+    def test_abort_reported(self, shell):
+        sh, out = shell
+        sh.handle('< true => in(main, "never") >')
+        assert "aborted" in out.getvalue()
+
+    def test_compile_error_reported_not_raised(self, shell):
+        sh, out = shell
+        sh.handle("out(nowhere, 1)")
+        assert "error:" in out.getvalue()
+
+    def test_comments_and_blanks_ignored(self, shell):
+        sh, out = shell
+        sh.handle("# comment")
+        sh.handle("")
+        assert out.getvalue() == ""
+
+
+class TestCommands:
+    def test_space_create_and_dump(self, shell):
+        sh, out = shell
+        sh.handle(".space scratch volatile")
+        sh.handle('out(scratch, "k", 42)')
+        sh.handle(".dump scratch")
+        assert "('k', 42)" in out.getvalue()
+
+    def test_spaces_listing(self, shell):
+        sh, out = shell
+        sh.handle(".spaces")
+        assert "main" in out.getvalue()
+
+    def test_fail_deposits_failure_tuple(self, shell):
+        sh, out = shell
+        sh.handle(".fail 7")
+        sh.handle('< in(main, "ft_failure", ?h:int) >')
+        assert "h=7" in out.getvalue()
+
+    def test_catalog(self, shell):
+        sh, out = shell
+        sh.handle('< rd(main, "a", ?x:int) or true >')
+        sh.handle(".catalog")
+        assert "(str, int)" in out.getvalue()
+
+    def test_unknown_command(self, shell):
+        sh, out = shell
+        sh.handle(".frobnicate")
+        assert "unknown command" in out.getvalue()
+
+    def test_quit_stops(self, shell):
+        sh, out = shell
+        assert sh.running
+        sh.handle(".quit")
+        assert not sh.running
+
+    def test_load_and_run_program(self, shell, tmp_path):
+        sh, out = shell
+        src = (
+            "space bag stable shared\n"
+            'stmt put(v) = out(bag, "task", v)\n'
+            'stmt get = < in(bag, "task", ?t:int) >\n'
+        )
+        f = tmp_path / "p.ftl"
+        f.write_text(src)
+        sh.handle(f".load {f}")
+        sh.handle(".run put v=9")
+        sh.handle(".run get")
+        assert "t=9" in out.getvalue()
+
+    def test_run_without_program(self, shell):
+        sh, out = shell
+        sh.handle(".run anything")
+        assert "no program loaded" in out.getvalue()
+
+
+class TestReplLoop:
+    def test_scripted_session(self):
+        out = io.StringIO()
+        sh = FtlShell(out=out)
+        script = io.StringIO(
+            'out(main, "greeting", "hi")\n'
+            '< rd(main, "greeting", ?s:str) >\n'
+            ".quit\n"
+            'out(main, "never", 1)\n'  # after .quit: not executed
+        )
+        sh.repl(script, prompt=False)
+        text = out.getvalue()
+        assert "s='hi'" in text
+        assert sh.rt.rdp(sh.rt.main_ts, "never", 1) is None
+
+    def test_eof_terminates(self):
+        sh = FtlShell(out=io.StringIO())
+        sh.repl(io.StringIO(""), prompt=False)  # returns without hanging
+
+
+class TestParseValue:
+    def test_types(self):
+        assert _parse_value("3") == 3
+        assert _parse_value("3.5") == 3.5
+        assert _parse_value("true") is True
+        assert _parse_value("false") is False
+        assert _parse_value("hello") == "hello"

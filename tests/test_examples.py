@@ -1,0 +1,33 @@
+"""Every example program must run clean — they are executable docs."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name
+    for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    path = pathlib.Path(__file__).parent.parent / "examples" / name
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, (
+        f"{name} failed\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{name} printed nothing"
+
+
+def test_example_inventory():
+    # the deliverable: a quickstart plus at least two domain scenarios
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3

@@ -1,0 +1,53 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench.figures import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            "Demo", [1, 2, 3], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+            width=30, height=8,
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "Demo"
+        assert "legend: * = a   o = b" in chart
+        assert "*" in chart and "o" in chart
+
+    def test_y_axis_starts_at_zero(self):
+        chart = ascii_chart("T", [0, 1], {"s": [100.0, 101.0]}, height=8)
+        # the bottom tick is 0.00 even though all values are ~100
+        assert "     0.00 |" in chart
+
+    def test_crossover_visible(self):
+        # two crossing lines both plot across the whole width
+        xs = list(range(10))
+        chart = ascii_chart(
+            "X", xs,
+            {"up": [float(x) for x in xs], "down": [float(9 - x) for x in xs]},
+            width=40, height=10,
+        )
+        rows = [l.split("|", 1)[1] for l in chart.splitlines() if "|" in l]
+        first_col = min(i for r in rows for i, ch in enumerate(r) if ch != " ")
+        last_col = max(i for r in rows for i, ch in enumerate(r) if ch != " ")
+        assert first_col == 0
+        assert last_col == 39
+
+    def test_x_labels(self):
+        chart = ascii_chart("T", [2, 8], {"s": [1.0, 2.0]}, x_label="replicas")
+        assert "replicas" in chart
+        assert "2" in chart and "8" in chart
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart("T", [1, 2], {"s": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart("T", [], {})
+
+    def test_all_zero_series(self):
+        chart = ascii_chart("T", [1, 2], {"s": [0.0, 0.0]})
+        assert "*" in chart  # plotted on the baseline, no div-by-zero

@@ -1,0 +1,220 @@
+"""Tests for the FT-lcc front end: lexer, parser, compiler."""
+
+import pytest
+
+from repro import AGS, CompileError, Guard, LocalRuntime, Op, OpCode, formal, ref
+from repro.core.spaces import MAIN_TS
+from repro.lcc import SignatureCatalog, compile_ags, compile_op, parse_ags, tokenize
+
+SPACES = {"main": MAIN_TS}
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize('< in(main, "c", ?v:int) => out(main) >')]
+        assert kinds == [
+            "LANGLE", "NAME", "LPAREN", "NAME", "COMMA", "STRING", "COMMA",
+            "QMARK", "NAME", "COLON", "NAME", "RPAREN", "ARROW", "NAME",
+            "LPAREN", "NAME", "RPAREN", "RANGLE",
+        ]
+
+    def test_numbers(self):
+        toks = tokenize("1 23 4.5 0.25")
+        assert [(t.kind, t.value) for t in toks] == [
+            ("INT", 1), ("INT", 23), ("FLOAT", 4.5), ("FLOAT", 0.25)
+        ]
+
+    def test_string_escapes(self):
+        (tok,) = tokenize(r'"a\nb\"c\\d"')
+        assert tok.value == 'a\nb"c\\d'
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError):
+            tokenize('"oops')
+
+    def test_comments_skipped(self):
+        toks = tokenize("1 # a comment\n2")
+        assert [t.value for t in toks] == [1, 2]
+
+    def test_operators(self):
+        kinds = [t.kind for t in tokenize("== != <= >= // / => < >")]
+        assert kinds == ["EQ", "NE", "LE", "GE", "DSLASH", "SLASH", "ARROW",
+                         "LANGLE", "RANGLE"]
+
+    def test_keywords(self):
+        kinds = [t.kind for t in tokenize("or true false orx")]
+        assert kinds == ["OR", "TRUE", "FALSE", "NAME"]
+
+    def test_position_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_bad_character(self):
+        with pytest.raises(CompileError):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_single_branch(self):
+        tree = parse_ags('< in(main, "c", ?v:int) => out(main, "c", v + 1) >')
+        assert len(tree.branches) == 1
+        assert tree.branches[0].guard.op.opname == "in"
+        assert len(tree.branches[0].body) == 1
+
+    def test_unbracketed_sugar(self):
+        tree = parse_ags('out(main, "x", 1)')
+        assert tree.branches[0].guard.op.opname == "out"
+
+    def test_disjunction(self):
+        tree = parse_ags('< in(main, "a") or rd(main, "b") => out(main, "c") >')
+        assert len(tree.branches) == 2
+        assert tree.branches[0].body == []
+        assert len(tree.branches[1].body) == 1
+
+    def test_true_guard(self):
+        tree = parse_ags('< true => out(main, "x") >')
+        assert tree.branches[0].guard.op is None
+
+    def test_body_sequence(self):
+        tree = parse_ags('< true => out(main, "a"); out(main, "b"); out(main, "c") >')
+        assert len(tree.branches[0].body) == 3
+
+    def test_move_two_ts_args(self):
+        tree = parse_ags('move(main, main, "x", ?:int)')
+        op = tree.branches[0].guard.op
+        assert len(op.ts_args) == 2
+        assert len(op.args) == 2
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(CompileError):
+            parse_ags('< frobnicate(main, 1) >')
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(CompileError):
+            parse_ags('out(main, 1) out(main, 2)')
+
+    def test_missing_rangle(self):
+        with pytest.raises(CompileError):
+            parse_ags('< true => out(main, 1)')
+
+    def test_comparison_inside_args(self):
+        tree = parse_ags('out(main, "flag", 1 < 2)')
+        # parses as a comparison, not a bracket
+        assert tree.branches[0].guard.op.args[1].op == "<"
+
+    def test_anonymous_formals(self):
+        tree = parse_ags('in(main, ?, ?:int)')
+        a, b = tree.branches[0].guard.op.args
+        assert a.name is None and a.type_name is None
+        assert b.name is None and b.type_name == "int"
+
+
+class TestCompiler:
+    def test_equivalent_to_builder_api(self):
+        text = compile_ags(
+            '< in(main, "c", ?v:int) => out(main, "c", v + 1) >', SPACES
+        )
+        built = AGS.single(
+            Guard.in_(MAIN_TS, "c", formal(int, "v")),
+            [Op.out(MAIN_TS, "c", ref("v") + 1)],
+        )
+        assert text == built
+
+    def test_execution_end_to_end(self):
+        rt = LocalRuntime()
+        rt.out(MAIN_TS, "c", 1)
+        res = rt.execute(compile_ags(
+            '< in(main, "c", ?v:int) => out(main, "c", v * 10) >', SPACES
+        ))
+        assert res.succeeded
+        assert rt.rd(MAIN_TS, "c", formal(int)) == ("c", 10)
+
+    def test_constant_folding(self):
+        ags = compile_ags('< true => out(main, "v", 2 * 3 + 4) >', SPACES)
+        op = ags.branches[0].body[0]
+        # folded to a constant, not an expression tree
+        from repro.core.ags import Const
+
+        assert isinstance(op.fields[1], Const)
+        assert op.fields[1].value == 10
+
+    def test_unknown_space_rejected(self):
+        with pytest.raises(CompileError):
+            compile_ags('out(nowhere, 1)', SPACES)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(CompileError):
+            compile_ags('< true => out(main, "x", mystery) >', SPACES)
+
+    def test_unbound_formal_use_rejected(self):
+        with pytest.raises(CompileError):
+            compile_ags('< true => out(main, "x", v) >', SPACES)
+
+    def test_formal_usable_after_binding(self):
+        ags = compile_ags(
+            '< true => in(main, "a", ?x:int); out(main, "b", x) >', SPACES
+        )
+        assert ags.branches[0].body[1].reads() == {"x"}
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(CompileError):
+            compile_ags('in(main, ?x:quaternion)', SPACES)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(CompileError):
+            compile_ags('< true => out(main, "x", launch(1)) >', SPACES)
+
+    def test_registered_function_usable(self):
+        ags = compile_ags('< true => out(main, "m", max(3, 7)) >', SPACES)
+        rt = LocalRuntime()
+        rt.execute(ags)
+        assert rt.rd(MAIN_TS, "m", formal(int)) == ("m", 7)
+
+    def test_signature_catalog_accumulates(self):
+        cat = SignatureCatalog()
+        compile_ags('in(main, "a", ?x:int)', SPACES, cat)
+        compile_ags('rd(main, "b", ?y:int)', SPACES, cat)
+        compile_ags('in(main, ?s:str, ?f:float)', SPACES, cat)
+        assert len(cat) == 2  # first two share ('str','int')
+        assert ("str", "int") in cat
+
+    def test_out_with_formal_rejected(self):
+        with pytest.raises(CompileError):
+            compile_ags('out(main, "x", ?v:int)', SPACES)
+
+    def test_compile_op(self):
+        op = compile_op('out(main, "x", 1)', SPACES)
+        assert op.code is OpCode.OUT
+
+    def test_compile_op_rejects_full_statement(self):
+        with pytest.raises(CompileError):
+            compile_op('< true => out(main, 1) >', SPACES)
+
+    def test_probe_or_else_idiom(self):
+        rt = LocalRuntime()
+        ags = compile_ags(
+            '< inp(main, "job", ?j:int) => out(main, "got", j)'
+            '  or true => out(main, "idle", 1) >',
+            SPACES,
+        )
+        r = rt.execute(ags)
+        assert r.fired == 1
+        rt.out(MAIN_TS, "job", 3)
+        r = rt.execute(ags)
+        assert r.fired == 0
+        assert rt.inp(MAIN_TS, "got", formal(int)) == ("got", 3)
+
+    def test_division_operators(self):
+        rt = LocalRuntime()
+        rt.execute(compile_ags('< true => out(main, "d", 7 // 2); out(main, "e", 1 / 2) >', SPACES))
+        assert rt.inp(MAIN_TS, "d", formal(int)) == ("d", 3)
+        assert rt.inp(MAIN_TS, "e", formal(float)) == ("e", 0.5)
+
+    def test_unary_minus(self):
+        rt = LocalRuntime()
+        rt.out(MAIN_TS, "n", 5)
+        rt.execute(compile_ags(
+            '< in(main, "n", ?v:int) => out(main, "n", -v) >', SPACES
+        ))
+        assert rt.rd(MAIN_TS, "n", formal(int)) == ("n", -5)

@@ -1,0 +1,190 @@
+"""Tests for FT-lcc program mode (space declarations + named statements)."""
+
+import pytest
+
+from repro import CompileError, LocalRuntime, Resilience, Scope, formal
+from repro.lcc import compile_program
+
+WORKER_PROGRAM = """
+# the FT bag-of-tasks worker, as a compiled program
+space bag     stable shared
+space prog    stable shared
+space results stable shared
+
+stmt take =
+    < in(bag, "task", ?t:int) => out(prog, "task", t) >
+
+stmt finish(t, r) =
+    < in(prog, "task", t) => out(results, "result", t, r) >
+
+stmt poll =
+    < inp(bag, "task", ?t:int) => out(prog, "task", t)
+      or true => out(results, "idle", 1) >
+"""
+
+
+@pytest.fixture
+def rt():
+    return LocalRuntime()
+
+
+class TestParsing:
+    def test_declarations_collected(self):
+        prog = compile_program(WORKER_PROGRAM)
+        assert set(prog.space_decls) == {"bag", "prog", "results"}
+        assert prog.names() == ["finish", "poll", "take"]
+        assert "take" in prog
+        assert prog.statement_decls["finish"].params == ["t", "r"]
+
+    def test_space_attributes(self):
+        prog = compile_program(
+            "space a stable shared\n"
+            "space b volatile\n"
+            "space c private stable\n"
+        )
+        assert prog.space_decls["a"].resilience is Resilience.STABLE
+        assert prog.space_decls["b"].resilience is Resilience.VOLATILE
+        assert prog.space_decls["c"].scope is Scope.PRIVATE
+
+    def test_bad_space_attribute(self):
+        with pytest.raises(CompileError):
+            compile_program("space a indestructible")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program("blargh foo")
+
+    def test_unclosed_statement_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program('stmt x = < in(main, "a"')
+
+    def test_multiline_statement(self):
+        prog = compile_program(
+            "stmt multi =\n"
+            "    < in(main, \"a\", ?x:int)\n"
+            "      => out(main, \"b\", x + 1);\n"
+            "         out(main, \"c\", x) >\n"
+        )
+        assert "multi" in prog
+
+    def test_comments_and_blanks_ignored(self):
+        prog = compile_program("\n# hello\n\nspace a\n# bye\n")
+        assert "a" in prog.space_decls
+
+
+class TestBindingAndExecution:
+    def test_bind_creates_spaces(self, rt):
+        prog = compile_program(WORKER_PROGRAM).bind(rt)
+        assert prog.handles["bag"].stable
+        rt.out(prog.handles["bag"], "task", 7)
+        res = rt.execute(prog.statement("take"))
+        assert res.succeeded and res["t"] == 7
+        assert rt.space_size(prog.handles["prog"]) == 1
+
+    def test_parameterized_statement(self, rt):
+        prog = compile_program(WORKER_PROGRAM).bind(rt)
+        rt.out(prog.handles["prog"], "task", 7)
+        res = rt.execute(prog.statement("finish", t=7, r=49))
+        assert res.succeeded
+        assert rt.inp(prog.handles["results"], "result", 7, 49) is not None
+
+    def test_full_worker_cycle(self, rt):
+        prog = compile_program(WORKER_PROGRAM).bind(rt)
+        bag = prog.handles["bag"]
+        for i in range(5):
+            rt.out(bag, "task", i)
+        done = []
+        while True:
+            res = rt.execute(prog.statement("poll"))
+            if res.fired == 1:
+                break
+            t = res["t"]
+            rt.execute(prog.statement("finish", t=t, r=t * t))
+            done.append(t)
+        assert sorted(done) == [0, 1, 2, 3, 4]
+
+    def test_missing_parameter_rejected(self, rt):
+        prog = compile_program(WORKER_PROGRAM).bind(rt)
+        with pytest.raises(CompileError):
+            prog.statement("finish", t=1)
+
+    def test_extra_parameter_rejected(self, rt):
+        prog = compile_program(WORKER_PROGRAM).bind(rt)
+        with pytest.raises(CompileError):
+            prog.statement("take", bogus=1)
+
+    def test_unknown_statement_rejected(self, rt):
+        prog = compile_program(WORKER_PROGRAM).bind(rt)
+        with pytest.raises(CompileError):
+            prog.statement("frobnicate")
+
+    def test_unbound_program_rejected(self):
+        prog = compile_program(WORKER_PROGRAM)
+        with pytest.raises(CompileError):
+            prog.statement("take")
+
+    def test_bind_existing_handle(self, rt):
+        h = rt.create_space("mybag")
+        prog = compile_program(WORKER_PROGRAM).bind(rt, existing={"bag": h})
+        assert prog.handles["bag"] == h
+
+    def test_bind_existing_attribute_mismatch(self, rt):
+        h = rt.create_space("v", Resilience.VOLATILE)
+        prog = compile_program("space bag stable\nstmt s = out(bag, 1)\n")
+        with pytest.raises(CompileError):
+            prog.bind(rt, existing={"bag": h})
+
+    def test_statement_cache_memoizes(self, rt):
+        prog = compile_program(WORKER_PROGRAM).bind(rt)
+        a = prog.statement("finish", t=1, r=1)
+        b = prog.statement("finish", t=1, r=1)
+        c = prog.statement("finish", t=2, r=4)
+        assert a is b
+        assert a != c
+
+    def test_parameter_substitution_is_identifier_safe(self, rt):
+        prog = compile_program(
+            'stmt s(t) = < true => out(main, "total", t) >\n'
+        ).bind(rt)
+        # "total" contains "t" but must not be mangled
+        res = rt.execute(prog.statement("s", t=9))
+        assert res.succeeded
+        assert rt.inp(rt.main_ts, "total", 9) is not None
+
+    def test_parameter_not_substituted_inside_strings(self, rt):
+        prog = compile_program(
+            'stmt s(x) = < true => out(main, "x marks", x) >\n'
+        ).bind(rt)
+        rt.execute(prog.statement("s", x=5))
+        assert rt.inp(rt.main_ts, "x marks", 5) is not None
+
+    def test_string_parameter_values(self, rt):
+        prog = compile_program(
+            'stmt s(who) = < true => out(main, "hello", who) >\n'
+        ).bind(rt)
+        rt.execute(prog.statement("s", who="world"))
+        assert rt.inp(rt.main_ts, "hello", "world") is not None
+
+    def test_signature_catalog_accumulates_across_statements(self, rt):
+        prog = compile_program(WORKER_PROGRAM).bind(rt)
+        prog.statement("take")
+        prog.statement("finish", t=1, r=2)
+        # take's and finish's patterns share one signature: deduplicated,
+        # exactly as FT-lcc's per-program catalog would
+        assert len(prog.catalog) == 1
+        prog_b = compile_program(
+            'stmt s = < rd(main, "x", ?a:float, ?b:str) >\n'
+        ).bind(rt)
+        prog_b.statement("s")
+        assert ("str", "float", "str") in prog_b.catalog
+
+    def test_private_space_binding_gets_owner(self, rt):
+        prog = compile_program(
+            "space mine stable private\nstmt s = out(mine, 1)\n"
+        ).bind(rt, owner=42)
+        view42 = rt.view(42)
+        view42.execute(prog.statement("s"))
+        from repro import ScopeError
+
+        with pytest.raises(ScopeError):
+            rt.view(43).out(prog.handles["mine"], "nope")

@@ -1,0 +1,83 @@
+"""Live tuples: the original Linda eval semantics (Gelernter 1985)."""
+
+import threading
+import time
+
+import pytest
+
+from repro import AGSError, LocalRuntime, formal
+from repro.core.spaces import MAIN_TS
+from repro.parallel import ThreadedReplicaRuntime
+
+
+@pytest.fixture
+def rt():
+    return LocalRuntime()
+
+
+class TestLiveTuples:
+    def test_plain_values_deposit_immediately(self, rt):
+        h = rt.eval_out(MAIN_TS, "point", 1, 2)
+        assert h.join(timeout=10) == ("point", 1, 2)
+        assert rt.rd(MAIN_TS, "point", formal(int), formal(int)) == ("point", 1, 2)
+
+    def test_callable_fields_computed_concurrently(self, rt):
+        gate = threading.Barrier(2, timeout=5)
+
+        def left():
+            gate.wait()  # both computations must be running at once
+            return 6 * 7
+
+        def right():
+            gate.wait()
+            return "done"
+
+        h = rt.eval_out(MAIN_TS, "result", left, right)
+        assert h.join(timeout=10) == ("result", 42, "done")
+
+    def test_tuple_invisible_until_all_fields_resolve(self, rt):
+        release = threading.Event()
+
+        def slow():
+            release.wait(5)
+            return 1
+
+        rt.eval_out(MAIN_TS, "slow", slow)
+        time.sleep(0.05)
+        # still active: not matchable
+        assert rt.rdp(MAIN_TS, "slow", formal(int)) is None
+        release.set()
+        assert rt.in_(MAIN_TS, "slow", formal(int), timeout=10) == ("slow", 1)
+
+    def test_classic_fibonacci_tree(self, rt):
+        # eval-style recursive fib, the canonical 1985 demo
+        def fib(n):
+            if n < 2:
+                return n
+            rt.eval_out(MAIN_TS, "fib", n - 1, lambda: fib(n - 1))
+            rt.eval_out(MAIN_TS, "fib", n - 2, lambda: fib(n - 2))
+            a = rt.in_(MAIN_TS, "fib", n - 1, formal(int), timeout=30)[2]
+            b = rt.in_(MAIN_TS, "fib", n - 2, formal(int), timeout=30)[2]
+            return a + b
+
+        assert fib(8) == 21
+
+    def test_formals_rejected(self, rt):
+        with pytest.raises(AGSError):
+            rt.eval_out(MAIN_TS, "bad", formal(int))
+
+    def test_callable_returning_invalid_value_fails_join(self, rt):
+        h = rt.eval_out(MAIN_TS, "bad", lambda: [1, 2])
+        with pytest.raises(Exception):
+            h.join(timeout=10)
+        assert rt.rdp(MAIN_TS, "bad", formal()) is None  # nothing deposited
+
+    def test_on_replicated_backend(self):
+        rt = ThreadedReplicaRuntime(n_replicas=2)
+        try:
+            h = rt.eval_out(rt.main_ts, "r", lambda: 5 * 5)
+            assert h.join(timeout=10) == ("r", 25)
+            rt.quiesce()
+            assert rt.converged()
+        finally:
+            rt.shutdown()

@@ -1,0 +1,145 @@
+"""Unit tests for the signature-indexed TupleStore."""
+
+import pytest
+
+from repro import Pattern, TupleStore, formal
+from repro.core.tuples import make_tuple
+
+
+@pytest.fixture
+def store():
+    return TupleStore()
+
+
+class TestAddFind:
+    def test_add_and_find(self, store):
+        store.add(make_tuple("a", 1))
+        m = store.find(Pattern(("a", formal(int, "v"))), remove=False)
+        assert m is not None
+        assert m.tup == ("a", 1)
+        assert m.binding == {"v": 1}
+
+    def test_find_remove_withdraws(self, store):
+        store.add(make_tuple("a", 1))
+        assert store.find(Pattern(("a", 1)), remove=True) is not None
+        assert store.find(Pattern(("a", 1)), remove=False) is None
+        assert len(store) == 0
+
+    def test_find_rd_does_not_withdraw(self, store):
+        store.add(make_tuple("a", 1))
+        assert store.find(Pattern(("a", 1)), remove=False) is not None
+        assert len(store) == 1
+
+    def test_no_match_returns_none(self, store):
+        store.add(make_tuple("a", 1))
+        assert store.find(Pattern(("b", formal(int))), remove=False) is None
+
+    def test_multiset_semantics(self, store):
+        store.add(make_tuple("a", 1))
+        store.add(make_tuple("a", 1))
+        assert len(store) == 2
+        store.find(Pattern(("a", 1)), remove=True)
+        assert len(store) == 1
+        assert store.find(Pattern(("a", 1)), remove=False) is not None
+
+
+class TestOldestFirst:
+    def test_oldest_match_wins_within_signature(self, store):
+        store.add(make_tuple("a", 1))
+        store.add(make_tuple("a", 2))
+        m = store.find(Pattern(("a", formal(int, "v"))), remove=True)
+        assert m.binding["v"] == 1
+        m = store.find(Pattern(("a", formal(int, "v"))), remove=True)
+        assert m.binding["v"] == 2
+
+    def test_oldest_match_across_signatures_with_untyped_formal(self, store):
+        store.add(make_tuple("a", "old"))
+        store.add(make_tuple("a", 1))
+        m = store.find(Pattern(("a", formal(object, "v"))), remove=False)
+        assert m.binding["v"] == "old"
+
+    def test_oldest_first_skips_nonmatching_older(self, store):
+        store.add(make_tuple("a", 5))
+        store.add(make_tuple("a", 1))
+        m = store.find(Pattern(("a", 1)), remove=False)
+        assert m.tup == ("a", 1)
+
+    def test_reinsert_restores_priority(self, store):
+        s1 = store.add(make_tuple("a", 1))
+        store.add(make_tuple("a", 2))
+        m = store.find(Pattern(("a", formal(int, "v"))), remove=True)
+        assert m.binding["v"] == 1
+        store.reinsert(s1, m.tup)
+        m2 = store.find(Pattern(("a", formal(int, "v"))), remove=False)
+        assert m2.binding["v"] == 1  # reinserted tuple is oldest again
+
+
+class TestIndexing:
+    def test_first_field_index_used_for_exact_patterns(self, store):
+        for i in range(100):
+            store.add(make_tuple(f"chan{i}", i))
+        m = store.find(Pattern(("chan37", formal(int, "v"))), remove=False)
+        assert m.binding["v"] == 37
+
+    def test_untyped_formal_scans_compatible_buckets(self, store):
+        store.add(make_tuple("a", 1))
+        store.add(make_tuple("a", "s"))
+        store.add(make_tuple("b", 2.0))
+        hits = store.find_all(Pattern(("a", formal())), remove=False)
+        assert len(hits) == 2
+
+    def test_formal_in_first_position(self, store):
+        store.add(make_tuple("x", 1))
+        store.add(make_tuple("y", 2))
+        hits = store.find_all(Pattern((formal(str), formal(int))), remove=False)
+        assert len(hits) == 2
+
+
+class TestFindAll:
+    def test_find_all_in_seqno_order(self, store):
+        for i in (3, 1, 2):
+            store.add(make_tuple("t", i))
+        hits = store.find_all(Pattern(("t", formal(int, "v"))), remove=False)
+        assert [h.binding["v"] for h in hits] == [3, 1, 2]
+
+    def test_find_all_remove_empties(self, store):
+        for i in range(5):
+            store.add(make_tuple("t", i))
+        store.add(make_tuple("other", "x"))
+        hits = store.find_all(Pattern(("t", formal(int))), remove=True)
+        assert len(hits) == 5
+        assert len(store) == 1
+
+    def test_count_and_contains(self, store):
+        store.add(make_tuple("t", 1))
+        store.add(make_tuple("t", 2))
+        assert store.count(Pattern(("t", formal(int)))) == 2
+        assert store.contains(Pattern(("t", 2)))
+        assert not store.contains(Pattern(("t", 3)))
+
+
+class TestSnapshots:
+    def test_snapshot_roundtrip_preserves_order_and_seqnos(self, store):
+        for i in range(10):
+            store.add(make_tuple("t", i))
+        store.find(Pattern(("t", 0)), remove=True)
+        snap = store.snapshot()
+        clone = TupleStore.from_snapshot(snap)
+        assert clone.to_list() == store.to_list()
+        assert clone.fingerprint() == store.fingerprint()
+        # new adds continue from the same counter
+        a = store.add(make_tuple("t", 100))
+        b = clone.add(make_tuple("t", 100))
+        assert a == b
+
+    def test_fingerprint_differs_on_content(self, store):
+        store.add(make_tuple("t", 1))
+        other = TupleStore()
+        other.add(make_tuple("t", 2))
+        assert store.fingerprint() != other.fingerprint()
+
+    def test_iteration_in_deposit_order(self, store):
+        vals = [5, 3, 8, 1]
+        for v in vals:
+            store.add(make_tuple("z", v))
+        assert [t[1] for t in store] == vals

@@ -1,0 +1,204 @@
+"""Unit tests for the Ethernet segment model and xkernel plumbing."""
+
+import pytest
+
+from repro.consul.network import BROADCAST, FRAME_OVERHEAD, EthernetSegment, NIC
+from repro.sim import Simulator
+from repro.xkernel import Message, Protocol, ProtocolStack
+from repro.xkernel.message import payload_size
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=5)
+
+
+def collector():
+    got = []
+
+    def receive(msg, src):
+        got.append((msg.payload, src))
+
+    return got, receive
+
+
+class TestMessage:
+    def test_header_stack_lifo(self):
+        m = Message("data")
+        m.push_header("a", 1)
+        m.push_header("b", 2)
+        assert m.pop_header("b") == 2
+        assert m.pop_header("a") == 1
+
+    def test_pop_wrong_layer_rejected(self):
+        m = Message("data")
+        m.push_header("a", 1)
+        with pytest.raises(ValueError):
+            m.pop_header("b")
+
+    def test_size_includes_headers(self):
+        m = Message("data")
+        base = m.size
+        m.push_header("a", "hdr", size=10)
+        assert m.size == base + 10
+
+    def test_payload_size_deterministic(self):
+        assert payload_size(("x", 1)) == payload_size(("x", 1))
+
+    def test_copy_shares_payload_but_not_headers(self):
+        m = Message(("p",))
+        m.push_header("a", 1)
+        c = m.copy()
+        c.pop_header("a")
+        assert m.peek_header("a") == 1
+
+
+class TestProtocolStack:
+    def test_passthrough_composition(self):
+        class Tag(Protocol):
+            def __init__(self, name):
+                super().__init__()
+                self.name = name
+                self.seen = []
+
+            def from_lower(self, msg, **kw):
+                self.seen.append(msg.payload)
+                super().from_lower(msg, **kw)
+
+        class Sink(Protocol):
+            name = "sink"
+
+            def __init__(self):
+                super().__init__()
+                self.got = []
+
+            def from_lower(self, msg, **kw):
+                self.got.append(msg.payload)
+
+        sink = Sink()
+        mid = Tag("mid")
+        bottom = Tag("bottom")
+        ProtocolStack([sink, mid, bottom])
+        bottom.from_lower(Message("hello"))
+        assert bottom.seen == ["hello"]
+        assert mid.seen == ["hello"]
+        assert sink.got == ["hello"]
+
+    def test_find(self):
+        class A(Protocol):
+            name = "a"
+
+        class B(Protocol):
+            name = "b"
+
+        a, b = A(), B()
+        stack = ProtocolStack([a, b])
+        assert stack.find(A) is a
+        with pytest.raises(LookupError):
+            stack.find(int)
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolStack([])
+
+
+class TestEthernet:
+    def test_unicast_reaches_destination_only(self, sim):
+        seg = EthernetSegment(sim)
+        got0, recv0 = collector()
+        got1, recv1 = collector()
+        got2, recv2 = collector()
+        seg.attach(NIC(0, recv0))
+        seg.attach(NIC(1, recv1))
+        seg.attach(NIC(2, recv2))
+        seg.transmit(0, 1, Message("hi"))
+        sim.run()
+        assert got1 == [("hi", 0)]
+        assert got0 == [] and got2 == []
+
+    def test_broadcast_reaches_all_but_sender(self, sim):
+        seg = EthernetSegment(sim)
+        gots = []
+        for i in range(4):
+            got, recv = collector()
+            gots.append(got)
+            seg.attach(NIC(i, recv))
+        seg.transmit(2, BROADCAST, Message("all"))
+        sim.run()
+        assert [len(g) for g in gots] == [1, 1, 0, 1]
+        assert seg.stats.broadcast_frames == 1
+        assert seg.stats.frames == 1
+
+    def test_transmission_delay_scales_with_size(self, sim):
+        seg = EthernetSegment(sim, bandwidth_bps=10_000_000, propagation_us=0)
+        got, recv = collector()
+        seg.attach(NIC(0, lambda m, s: None))
+        seg.attach(NIC(1, recv))
+        payload = b"x" * 1000
+        seg.transmit(0, 1, Message(payload))
+        sim.run()
+        expected_us = (payload_size(payload) + FRAME_OVERHEAD) * 8 / 10_000_000 * 1e6
+        assert sim.now == pytest.approx(expected_us, rel=1e-6)
+
+    def test_medium_serializes_back_to_back_frames(self, sim):
+        seg = EthernetSegment(sim, bandwidth_bps=1_000_000, propagation_us=0)
+        times = []
+        seg.attach(NIC(0, lambda m, s: None))
+        seg.attach(NIC(1, lambda m, s: times.append(sim.now)))
+        seg.transmit(0, 1, Message(b"a" * 100))
+        seg.transmit(0, 1, Message(b"a" * 100))
+        sim.run()
+        assert len(times) == 2
+        # second frame waits for the first to clear the wire
+        assert times[1] == pytest.approx(2 * times[0], rel=1e-6)
+
+    def test_crashed_nic_drops_frames(self, sim):
+        seg = EthernetSegment(sim)
+        got, recv = collector()
+        nic = NIC(1, recv)
+        seg.attach(NIC(0, lambda m, s: None))
+        seg.attach(nic)
+        nic.up = False
+        seg.transmit(0, 1, Message("lost"))
+        sim.run()
+        assert got == []
+
+    def test_partition_blocks_cross_group_traffic(self, sim):
+        seg = EthernetSegment(sim)
+        gots = []
+        for i in range(4):
+            got, recv = collector()
+            gots.append(got)
+            seg.attach(NIC(i, recv))
+        seg.set_partitions([[0, 1], [2, 3]])
+        seg.transmit(0, BROADCAST, Message("a"))
+        seg.transmit(2, BROADCAST, Message("b"))
+        sim.run()
+        assert [m for m, _ in gots[1]] == ["a"]
+        assert [m for m, _ in gots[3]] == ["b"]
+        assert gots[0] == [] and len(gots[2]) == 0
+        seg.set_partitions([])
+        seg.transmit(0, BROADCAST, Message("c"))
+        sim.run()
+        assert [m for m, _ in gots[3]] == ["b", "c"]
+
+    def test_loss_probability_drops_deterministically_with_seed(self):
+        def run(seed):
+            s = Simulator(seed=seed)
+            seg = EthernetSegment(s, loss_probability=0.5)
+            got, recv = collector()
+            seg.attach(NIC(0, lambda m, x: None))
+            seg.attach(NIC(1, recv))
+            for i in range(50):
+                seg.transmit(0, 1, Message(i))
+            s.run()
+            return [m for m, _ in got]
+
+        assert run(3) == run(3)
+        assert 0 < len(run(3)) < 50
+
+    def test_double_attach_rejected(self, sim):
+        seg = EthernetSegment(sim)
+        seg.attach(NIC(0, lambda m, s: None))
+        with pytest.raises(ValueError):
+            seg.attach(NIC(0, lambda m, s: None))

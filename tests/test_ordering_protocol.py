@@ -1,0 +1,236 @@
+"""Protocol-level tests for the total-order layers (sequencer + token).
+
+These drive the ordering machinery through its unhappy paths: lossy
+links, duplicate suppression, gap repair via NACK, sequencer takeover
+sync, token regeneration — the machinery the paper gets from Consul and
+relies on for the single-multicast design to be *reliable*, not just
+fast.
+"""
+
+import pytest
+
+from repro import formal
+from repro.consul import ClusterConfig, SimCluster
+from repro.consul.config import ConsulConfig
+from repro.core.spaces import MAIN_TS
+
+LIMIT = 240_000_000.0
+
+
+def writer(view, tag, n):
+    for i in range(n):
+        yield view.out(view.main_ts, tag, i)
+
+
+def make(n_hosts=3, seed=0, loss=0.0, ordering="sequencer", **consul):
+    cfg = ClusterConfig(
+        n_hosts=n_hosts,
+        seed=seed,
+        ordering=ordering,
+        loss_probability=loss,
+        consul=ConsulConfig(**consul),
+    )
+    return SimCluster(cfg)
+
+
+class TestLossRecovery:
+    @pytest.mark.parametrize("loss", [0.02, 0.10])
+    def test_nack_repair_delivers_everything(self, loss):
+        c = make(seed=13, loss=loss)
+        procs = [c.spawn(h, writer, f"t{h}", 10) for h in range(3)]
+        c.run_until_all(procs, limit=LIMIT)
+        c.settle(5_000_000)
+        assert c.converged()
+        assert c.replica(0).space_size(MAIN_TS) == 30
+
+    def test_total_order_identical_under_loss(self):
+        c = make(seed=99, loss=0.05)
+        procs = [c.spawn(h, writer, f"t{h}", 8) for h in range(3)]
+        c.run_until_all(procs, limit=LIMIT)
+        c.settle(5_000_000)
+        logs = [c.ordering(h).next_deliver for h in range(3)]
+        assert len(set(logs)) == 1  # all delivered the same prefix length
+        assert c.converged()
+
+    def test_duplicate_suppression_under_retransmission(self):
+        # aggressive client retransmission under heavy loss: duplicates
+        # must never double-apply.  (At 15% loss the failure detector also
+        # churns — hosts get falsely excluded and rejoin — so the exact
+        # invariant is exactly-once delivery of the client's tuples, not a
+        # quiet membership.)
+        c = make(seed=5, loss=0.15, retrans_timeout_us=10_000.0)
+        p = c.spawn(2, writer, "x", 10)
+        c.run_until(p.finished, limit=LIMIT)
+        c.settle(8_000_000)
+        for h in range(3):
+            r = c.replica(h)
+            if r.recovering:
+                continue  # mid-rejoin: judged by its post-snapshot state
+            xs = sorted(
+                t[1] for t in r.space_tuples(MAIN_TS) if t[0] == "x"
+            )
+            assert xs == list(range(10)), f"host {h}: {xs}"
+
+    def test_false_exclusion_rejoins_automatically(self):
+        # a detector mistake (not a partition): host 1 wrongly suspects
+        # host 0 and orders its exclusion.  Host 0 — alive and connected —
+        # delivers its own failure notice and must rejoin by itself.
+        c = make(seed=6)
+        p = c.spawn(1, writer, "pre", 3)
+        c.run_until(p.finished, limit=LIMIT)
+        c.membership(1)._suspect(0)  # inject the false suspicion
+        c.run(until=c.sim.now + 2_000_000)
+        assert 0 in c.membership(1).view  # ...readmitted by now
+        assert not c.replica(0).recovering
+        p = c.spawn(0, writer, "post", 3)  # and fully operational
+        c.run_until(p.finished, limit=LIMIT)
+        c.settle(2_000_000)
+        assert c.converged()
+
+
+class TestTakeover:
+    def test_takeover_sync_continues_numbering(self):
+        c = make(n_hosts=4, seed=21)
+        p = c.spawn(1, writer, "pre", 5)
+        c.run_until(p.finished, limit=LIMIT)
+        before = c.ordering(1).next_deliver
+        c.crash(0)
+        c.settle(2_000_000)
+        p = c.spawn(1, writer, "post", 5)
+        c.run_until(p.finished, limit=LIMIT)
+        c.settle(2_000_000)
+        assert c.ordering(1).next_deliver > before
+        assert c.converged()
+        # every pre and post tuple exists exactly once
+        live = c.live_hosts()
+        tuples = c.replica(live[0]).space_tuples(MAIN_TS)
+        assert sum(1 for t in tuples if t[0] == "pre") == 5
+        assert sum(1 for t in tuples if t[0] == "post") == 5
+
+    def test_in_flight_request_survives_sequencer_crash(self):
+        # the crash lands between REQ and ORD: client retransmits to the
+        # new sequencer, dedup guarantees exactly-once
+        c = make(n_hosts=3, seed=8, retrans_timeout_us=30_000.0)
+        p = c.spawn(2, writer, "x", 1)
+        c.sim.run(until=c.sim.now + 100.0)  # REQ is on the wire / queued
+        c.crash(0)
+        c.run_until(p.finished, limit=LIMIT)
+        c.settle(3_000_000)
+        assert c.converged()
+        tuples = c.replica(1).space_tuples(MAIN_TS)
+        assert sum(1 for t in tuples if t[0] == "x") == 1
+
+    def test_double_takeover(self):
+        c = make(n_hosts=4, seed=31)
+        p1 = c.spawn(3, writer, "a", 12)
+        c.run(until=30_000)
+        c.crash(0)
+        c.run(until=c.sim.now + 500_000)
+        c.crash(1)
+        c.run_until(p1.finished, limit=LIMIT)
+        c.settle(3_000_000)
+        assert c.converged()
+        assert c.ordering(2).sequencer() == 2
+
+
+class TestTokenRing:
+    def test_basic_replication(self):
+        c = make(seed=3, ordering="token")
+        procs = [c.spawn(h, writer, f"t{h}", 5) for h in range(3)]
+        c.run_until_all(procs, limit=LIMIT)
+        c.settle(2_000_000)
+        assert c.converged()
+        assert c.replica(0).space_size(MAIN_TS) == 15
+
+    def test_token_regenerated_after_holder_crash(self):
+        c = make(seed=7, ordering="token")
+        p = c.spawn(1, writer, "pre", 3)
+        c.run_until(p.finished, limit=LIMIT)
+        c.crash(0)  # whoever holds/receives the token soon, ring heals
+        p = c.spawn(1, writer, "post", 3)
+        c.run_until(p.finished, limit=LIMIT)
+        c.settle(3_000_000)
+        assert c.converged()
+
+    def test_token_under_loss(self):
+        c = make(seed=11, ordering="token", loss=0.05)
+        p = c.spawn(2, writer, "x", 8)
+        c.run_until(p.finished, limit=600_000_000.0)
+        c.settle(5_000_000)
+        assert c.converged()
+        assert c.replica(1).space_size(MAIN_TS) == 8
+
+    def test_blocking_in_across_hosts_token_mode(self):
+        c = make(seed=15, ordering="token")
+
+        def waiter(view):
+            t = yield view.in_(view.main_ts, "d", formal(int))
+            return t
+
+        pw = c.spawn(0, waiter)
+        c.run(until=500_000)
+        c.spawn(2, writer, "d", 1)
+        c.run_until(pw.finished, limit=LIMIT)
+        assert pw.finished.value == ("d", 0)
+
+    def test_recovery_token_mode(self):
+        c = make(seed=19, ordering="token")
+        p = c.spawn(0, writer, "x", 5)
+        c.run_until(p.finished, limit=LIMIT)
+        c.crash(2)
+        c.settle(2_000_000)
+        p = c.spawn(0, writer, "y", 5)
+        c.run_until(p.finished, limit=LIMIT)
+        c.recover(2)
+        c.run_until(c.replica(2).recovered_event, limit=600_000_000.0)
+        c.settle(3_000_000)
+        assert c.converged()
+
+
+class TestPartition:
+    """Partition behavior with the opt-in quorum mode.
+
+    The paper's failure model is processor crash, not partition; with
+    ``require_quorum=True`` the implementation upgrades to CP behavior:
+    the majority side stays available and consistent, the minority stalls
+    rather than forking, and a falsely excluded host rejoins on heal.
+    """
+
+    def test_majority_side_keeps_serving(self):
+        c = make(n_hosts=3, seed=23, suspect_timeout_us=100_000.0,
+                 require_quorum=True)
+        p = c.spawn(0, writer, "pre", 3)
+        c.run_until(p.finished, limit=LIMIT)
+        c.partition([0, 1], [2])
+        p = c.spawn(0, writer, "maj", 3)
+        c.run_until(p.finished, limit=LIMIT)
+        c.settle(1_000_000)
+        assert c.replica(0).stable_fingerprint() == c.replica(1).stable_fingerprint()
+        tuples = c.replica(0).space_tuples(MAIN_TS)
+        assert sum(1 for t in tuples if t[0] == "maj") == 3
+
+    def test_minority_stalls_instead_of_forking(self):
+        c = make(n_hosts=3, seed=29, suspect_timeout_us=100_000.0,
+                 require_quorum=True)
+        p = c.spawn(2, writer, "pre", 2)
+        c.run_until(p.finished, limit=LIMIT)
+        before = c.ordering(2).next_deliver
+        c.partition([0, 1], [2])
+        c.spawn(2, writer, "minority", 3)  # must NOT be ordered
+        c.run(until=c.sim.now + 1_500_000)
+        assert c.ordering(2).next_deliver == before  # no solo progress
+
+    def test_excluded_minority_rejoins_after_heal(self):
+        c = make(n_hosts=3, seed=31, suspect_timeout_us=100_000.0,
+                 require_quorum=True)
+        p = c.spawn(1, writer, "pre", 2)
+        c.run_until(p.finished, limit=LIMIT)
+        c.partition([0, 1], [2])
+        c.run(until=c.sim.now + 600_000)
+        assert 2 not in c.membership(0).view  # excluded by the majority
+        c.heal_partition()
+        c.run(until=c.sim.now + 5_000_000)
+        assert 2 in c.membership(0).view  # rejoined via self-rejoin protocol
+        assert not c.replica(2).recovering
+        c.settle(2_000_000)
+        assert c.converged()

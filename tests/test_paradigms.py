@@ -1,0 +1,257 @@
+"""Integration tests for the FT-Linda programming paradigms (Sec. 4)."""
+
+import threading
+
+import pytest
+
+from repro import FAILURE_TAG, LocalRuntime, formal
+from repro.paradigms import (
+    Barrier,
+    DistributedVariable,
+    ReplicatedServer,
+    run_bag_of_tasks,
+    run_divide_conquer,
+)
+from repro.paradigms.divide_conquer import ensure_function
+
+
+@pytest.fixture
+def rt():
+    return LocalRuntime()
+
+
+class TestDistributedVariable:
+    def test_init_inspect_destroy(self, rt):
+        v = DistributedVariable(rt, rt.main_ts, "count")
+        v.init(10)
+        assert v.value() == 10
+        assert v.exists()
+        assert v.destroy() == 10
+        assert not v.exists()
+
+    def test_atomic_update_returns_old(self, rt):
+        v = DistributedVariable(rt, rt.main_ts, "count")
+        v.init(5)
+        assert v.add(3) == 5
+        assert v.value() == 8
+        assert v.set(100) == 8
+        assert v.value() == 100
+
+    def test_update_with_expression(self, rt):
+        v = DistributedVariable(rt, rt.main_ts, "count")
+        v.init(7)
+        v.update(lambda old: old * 2 + 1)
+        assert v.value() == 15
+
+    def test_compare_and_set(self, rt):
+        v = DistributedVariable(rt, rt.main_ts, "flag")
+        v.init(0)
+        assert v.compare_and_set(0, 1)
+        assert not v.compare_and_set(0, 2)
+        assert v.value() == 1
+
+    def test_concurrent_atomic_updates_lose_nothing(self, rt):
+        v = DistributedVariable(rt, rt.main_ts, "count")
+        v.init(0)
+
+        def bump(proc, n):
+            inner = DistributedVariable(proc, proc.main_ts, "count")
+            for _ in range(n):
+                inner.add(1)
+
+        handles = [rt.eval_(bump, 25) for _ in range(4)]
+        for h in handles:
+            h.join(timeout=30)
+        assert v.value() == 100
+
+    def test_unsafe_update_window_loses_variable(self, rt):
+        """The Sec. 2.2 failure: crash between in and out loses the variable."""
+        v = DistributedVariable(rt, rt.main_ts, "count")
+        v.init(1)
+        old = v.unsafe_in()  # worker withdrew it...
+        # ...and "crashed" here: never calls unsafe_out(old + 1)
+        assert v.try_value() is None  # variable is gone for everyone
+        del old
+
+    def test_string_variable(self, rt):
+        v = DistributedVariable(rt, rt.main_ts, "greeting", vtype=str)
+        v.init("hello")
+        v.update(lambda old: old + "!")
+        assert v.value() == "hello!"
+
+
+class TestBarrier:
+    def test_single_phase(self, rt):
+        b = Barrier(rt, rt.main_ts, 4)
+        b.setup()
+        reached = []
+
+        def party(proc, i):
+            gen = b.arrive(proc)
+            reached.append((i, gen))
+
+        handles = [rt.eval_(party, i) for i in range(4)]
+        for h in handles:
+            h.join(timeout=30)
+        assert len(reached) == 4
+        assert all(gen == 1 for _i, gen in reached)
+
+    def test_multi_phase_reuse(self, rt):
+        n, phases = 3, 5
+        b = Barrier(rt, rt.main_ts, n)
+        b.setup()
+        log = []
+        lock = threading.Lock()
+
+        def party(proc, i):
+            for ph in range(phases):
+                gen = b.arrive(proc)
+                with lock:
+                    log.append((ph, gen, i))
+
+        handles = [rt.eval_(party, i) for i in range(n)]
+        for h in handles:
+            h.join(timeout=60)
+        # every phase completed with the right generation number, and no
+        # party raced ahead: generation g only appears with phase g-1
+        assert len(log) == n * phases
+        for ph, gen, _i in log:
+            assert gen == ph + 1
+
+    def test_one_party_barrier(self, rt):
+        b = Barrier(rt, rt.main_ts, 1)
+        b.setup()
+        assert b.arrive() == 1
+        assert b.arrive() == 2
+
+    def test_invalid_n(self, rt):
+        with pytest.raises(ValueError):
+            Barrier(rt, rt.main_ts, 0)
+
+
+def square(x):
+    return x * x
+
+
+class TestBagOfTasks:
+    def test_all_tasks_complete_no_failures(self, rt):
+        payloads = list(range(20))
+        report = run_bag_of_tasks(rt, payloads, n_workers=4, compute=square)
+        assert report["lost"] == 0
+        assert sorted(r for _p, r in report["results"]) == sorted(
+            p * p for p in payloads
+        )
+
+    def test_ft_mode_recovers_crashed_workers_tasks(self, rt):
+        payloads = list(range(12))
+        report = run_bag_of_tasks(
+            rt, payloads, n_workers=3, compute=square,
+            ft=True, crash_workers={0: 1, 1: 2},
+        )
+        assert report["lost"] == 0  # every task completed despite 2 crashes
+        assert report["recycled"] == 2  # two workers' state was recycled
+        got = sorted(p for p, _r in report["results"])
+        assert got == payloads  # each task answered exactly once
+
+    def test_classic_mode_loses_crashed_workers_tasks(self, rt):
+        payloads = list(range(12))
+        report = run_bag_of_tasks(
+            rt, payloads, n_workers=3, compute=square,
+            ft=False, crash_workers={0: 1, 1: 2},
+        )
+        assert report["lost"] == 2  # one task vanished per crashed worker
+
+    def test_single_worker(self, rt):
+        report = run_bag_of_tasks(rt, [1, 2, 3], n_workers=1, compute=square)
+        assert report["lost"] == 0
+        assert len(report["results"]) == 3
+
+
+class TestDivideConquer:
+    def test_range_sum(self, rt):
+        # sum 0..63 by splitting ranges
+        report = run_divide_conquer(
+            rt,
+            (0, 64),
+            n_workers=4,
+            is_small=lambda t: t[1] - t[0] <= 8,
+            solve=lambda t: sum(range(t[0], t[1])),
+            split=lambda t: [
+                (t[0], (t[0] + t[1]) // 2), ((t[0] + t[1]) // 2, t[1])
+            ],
+            combine_name="dc_add",
+            combine=lambda a, b: a + b,
+            identity=0,
+        )
+        assert report["result"] == sum(range(64))
+
+    def test_with_worker_crashes(self, rt):
+        report = run_divide_conquer(
+            rt,
+            (0, 32),
+            n_workers=3,
+            is_small=lambda t: t[1] - t[0] <= 4,
+            solve=lambda t: sum(range(t[0], t[1])),
+            split=lambda t: [
+                (t[0], (t[0] + t[1]) // 2), ((t[0] + t[1]) // 2, t[1])
+            ],
+            combine_name="dc_add",
+            combine=lambda a, b: a + b,
+            identity=0,
+            crash_workers={0: 2},
+        )
+        assert report["result"] == sum(range(32))
+        assert report["recycled"] >= 1
+
+    def test_ensure_function_idempotent(self):
+        ensure_function("dc_test_fn", lambda a, b: a + b)
+        ensure_function("dc_test_fn", lambda a, b: a + b)  # no raise
+
+
+class TestReplicatedServer:
+    def test_serves_requests(self, rt):
+        svc = ReplicatedServer(
+            rt, "adder", lambda state, x: (state + x, state + x), 0
+        )
+        hp = rt.eval_(svc.serve, 7)
+        got = []
+
+        def client(proc):
+            for i in range(5):
+                got.append(svc.request(proc, i, 10))
+
+        rt.eval_(client).join(timeout=30)
+        svc.shutdown()
+        assert hp.join(timeout=30) == 5
+        assert got == [10, 20, 30, 40, 50]  # running sums: state persisted
+
+    def test_failover_loses_no_requests(self, rt):
+        svc = ReplicatedServer(
+            rt, "echo", lambda state, x: (x, state + 1), 0
+        )
+        report = svc.run_with_failover(
+            8, lambda i: i * 100, crash_after=3
+        )
+        assert report["primary_answered"] == 3
+        assert report["backup_answered"] == 5
+        assert report["replies"] == {i: i * 100 for i in range(8)}
+
+    def test_state_survives_failover(self, rt):
+        # state counts requests; after failover the count continues
+        svc = ReplicatedServer(
+            rt, "counter", lambda state, x: (state + 1, state + 1), 0
+        )
+        report = svc.run_with_failover(6, lambda i: i, crash_after=2)
+        # replies are 1..6 in some assignment; the last reply equals 6
+        assert sorted(report["replies"].values()) == [1, 2, 3, 4, 5, 6]
+
+
+class TestMonitorRobustness:
+    def test_failure_tuple_consumed_after_recovery(self, rt):
+        report = run_bag_of_tasks(
+            rt, list(range(6)), n_workers=2, compute=square,
+            ft=True, crash_workers={0: 0},
+        )
+        assert report["lost"] == 0
+        # monitor withdrew the failure tuple when done
+        assert rt.inp(rt.main_ts, FAILURE_TAG, formal(int)) is None

@@ -1,0 +1,113 @@
+"""Property-based tests at the cluster level: convergence under chaos.
+
+Hypothesis generates workloads and crash schedules; the property is the
+paper's bottom line — all surviving replicas of the stable tuple space
+hold identical state, no matter which host crashed when.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import AGS, Guard, Op, formal, ref
+from repro.consul import ClusterConfig, SimCluster
+
+LIMIT = 120_000_000.0
+
+
+@st.composite
+def scenario(draw):
+    n_hosts = draw(st.integers(min_value=2, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    # writers: (host, tag, count)
+    writers = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n_hosts - 1),
+                st.sampled_from(["x", "y", "z"]),
+                st.integers(1, 6),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    crash_host = draw(st.one_of(st.none(), st.integers(0, n_hosts - 1)))
+    crash_at = draw(st.integers(5_000, 200_000))
+    return n_hosts, seed, writers, crash_host, crash_at
+
+
+def writer(view, tag, n):
+    for i in range(n):
+        yield view.out(view.main_ts, tag, i)
+
+
+@given(scenario())
+@settings(max_examples=25, deadline=None)
+def test_survivors_converge_despite_crashes(s):
+    n_hosts, seed, writers, crash_host, crash_at = s
+    c = SimCluster(ClusterConfig(n_hosts=n_hosts, seed=seed))
+    procs = []
+    for host, tag, n in writers:
+        procs.append(c.spawn(host, writer, tag, n))
+    if crash_host is not None and n_hosts > 1:
+        c.crash(crash_host, at=float(crash_at))
+    # run long enough for everything that can finish to finish
+    c.run(until=20_000_000)
+    live = c.live_hosts()
+    assert live, "at most one host was crashed"
+    prints = {
+        c.replica(h).stable_fingerprint()
+        for h in live
+        if not c.replica(h).recovering
+    }
+    assert len(prints) == 1
+    # writers on surviving hosts all completed
+    for (host, tag, n), p in zip(writers, procs):
+        if crash_host is None or host != crash_host:
+            assert p.finished.triggered, (host, tag, n)
+
+
+@given(scenario())
+@settings(max_examples=15, deadline=None)
+def test_crash_then_recover_converges_everywhere(s):
+    n_hosts, seed, writers, crash_host, crash_at = s
+    if crash_host is None:
+        crash_host = 0
+    c = SimCluster(ClusterConfig(n_hosts=n_hosts, seed=seed))
+    for host, tag, n in writers:
+        c.spawn(host, writer, tag, n)
+    c.crash(crash_host, at=float(crash_at))
+    c.run(until=5_000_000)
+    c.recover(crash_host)
+    c.run(until=30_000_000)
+    r = c.replica(crash_host)
+    assert not r.recovering
+    prints = {c.replica(h).stable_fingerprint() for h in c.live_hosts()}
+    assert len(prints) == 1
+
+
+@given(
+    st.integers(0, 2**16),
+    st.lists(st.integers(0, 2), min_size=1, max_size=12),
+)
+@settings(max_examples=20, deadline=None)
+def test_atomic_increments_from_random_hosts_sum_exactly(seed, hosts):
+    c = SimCluster(ClusterConfig(n_hosts=3, seed=seed))
+
+    def init(view):
+        yield view.out(view.main_ts, "c", 0)
+
+    def incr(view):
+        yield view.execute(AGS.single(
+            Guard.in_(view.main_ts, "c", formal(int, "v")),
+            [Op.out(view.main_ts, "c", ref("v") + 1)],
+        ))
+
+    p = c.spawn(0, init)
+    c.run_until(p.finished, limit=LIMIT)
+    procs = [c.spawn(h, incr) for h in hosts]
+    c.run_until_all(procs, limit=LIMIT)
+    c.settle()
+    tuples = c.replica(0).space_tuples(c.main_ts)
+    assert ("c", len(hosts)) in tuples

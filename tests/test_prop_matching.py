@@ -1,0 +1,161 @@
+"""Property-based tests: the TupleStore against a reference model.
+
+The model is the stupidest possible correct implementation: a list of
+(seqno, fields) pairs with linear scans.  Hypothesis drives both with the
+same operation sequences; any divergence is an indexing bug.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import Pattern, TupleStore, formal
+from repro.core.tuples import LindaTuple
+
+# -- strategies -------------------------------------------------------------- #
+
+field_values = st.one_of(
+    st.integers(min_value=-3, max_value=3),
+    st.sampled_from(["a", "b", "c"]),
+    st.booleans(),
+)
+
+tuples_ = st.lists(field_values, min_size=1, max_size=3).map(tuple)
+
+
+def pattern_for(fields: tuple, typed: bool) -> Pattern:
+    """A pattern matching *fields* (typed or untyped formals)."""
+    pat = []
+    for i, v in enumerate(fields):
+        if i % 2 == 0:
+            pat.append(v)  # actual
+        else:
+            pat.append(formal(type(v) if typed else object))
+    return Pattern(tuple(pat))
+
+
+class Model:
+    """Reference implementation: linear scan, oldest first."""
+
+    def __init__(self) -> None:
+        self.items: list[tuple[int, tuple]] = []
+        self.next_seq = 0
+
+    def add(self, fields: tuple) -> None:
+        self.items.append((self.next_seq, fields))
+        self.next_seq += 1
+
+    def find(self, pattern: Pattern, remove: bool):
+        for i, (seq, fields) in enumerate(self.items):
+            if pattern.matches(LindaTuple(fields)):
+                if remove:
+                    del self.items[i]
+                return fields
+        return None
+
+    def find_all(self, pattern: Pattern, remove: bool):
+        hits = [
+            (seq, f) for seq, f in self.items if pattern.matches(LindaTuple(f))
+        ]
+        if remove:
+            keep = {seq for seq, _f in hits}
+            self.items = [(s, f) for s, f in self.items if s not in keep]
+        return [f for _s, f in hits]
+
+    def all(self):
+        return [f for _s, f in self.items]
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), tuples_),
+        st.tuples(st.just("in"), tuples_, st.booleans()),
+        st.tuples(st.just("rd"), tuples_, st.booleans()),
+        st.tuples(st.just("in_all"), tuples_, st.booleans()),
+    ),
+    max_size=60,
+)
+
+
+@given(ops)
+@settings(max_examples=200, deadline=None)
+def test_store_equals_reference_model(operations):
+    store, model = TupleStore(), Model()
+    for op in operations:
+        if op[0] == "add":
+            fields = op[1]
+            store.add(LindaTuple(fields))
+            model.add(fields)
+        elif op[0] in ("in", "rd"):
+            _k, probe, typed = op
+            pattern = pattern_for(probe, typed)
+            remove = op[0] == "in"
+            got = store.find(pattern, remove=remove)
+            want = model.find(pattern, remove=remove)
+            assert (got.tup.fields if got else None) == want
+        else:  # in_all
+            _k, probe, typed = op
+            pattern = pattern_for(probe, typed)
+            got = [m.tup.fields for m in store.find_all(pattern, remove=True)]
+            want = model.find_all(pattern, remove=True)
+            assert got == want
+        assert [t.fields for t in store] == model.all()
+        assert len(store) == len(model.all())
+
+
+@given(st.lists(tuples_, min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_multiset_conservation(added):
+    """in'ing everything back out returns exactly the multiset deposited."""
+    store = TupleStore()
+    for f in added:
+        store.add(LindaTuple(f))
+    drained = []
+    while len(store):
+        arity_probe = None
+        for t in store:
+            arity_probe = t
+            break
+        pattern = Pattern(tuple(formal() for _ in range(arity_probe.arity)))
+        m = store.find(pattern, remove=True)
+        assert m is not None
+        drained.append(m.tup.fields)
+    assert sorted(map(repr, drained)) == sorted(map(repr, added))
+
+
+@given(st.lists(tuples_, min_size=0, max_size=30), st.integers(0, 29))
+@settings(max_examples=100, deadline=None)
+def test_snapshot_roundtrip_mid_history(added, n_removed):
+    store = TupleStore()
+    for f in added:
+        store.add(LindaTuple(f))
+    for _ in range(min(n_removed, len(added))):
+        t = next(iter(store), None)
+        if t is None:
+            break
+        store.find(Pattern(tuple(formal() for _ in range(t.arity))), remove=True)
+    clone = TupleStore.from_snapshot(store.snapshot())
+    assert clone.fingerprint() == store.fingerprint()
+    assert clone.to_list() == store.to_list()
+    # future allocations stay aligned
+    a = store.add(LindaTuple(("sync",)))
+    b = clone.add(LindaTuple(("sync",)))
+    assert a == b
+
+
+@given(st.lists(tuples_, min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_reinsert_inverts_remove(added):
+    """remove + reinsert(seqno) is an exact identity on the store."""
+    store = TupleStore()
+    for f in added:
+        store.add(LindaTuple(f))
+    before = store.fingerprint()
+    order_before = store.to_list()
+    probe = Pattern(tuple(formal() for _ in range(len(added[0]))))
+    m = store.find(probe, remove=True)
+    if m is not None:
+        store.reinsert(m.seqno, m.tup)
+    assert store.fingerprint() == before
+    assert store.to_list() == order_before

@@ -1,0 +1,120 @@
+"""Property-based paradigm invariants (threads, small sizes — real races)."""
+
+from __future__ import annotations
+
+import threading
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import LocalRuntime
+from repro.paradigms import Barrier, Consensus, DistributedVariable, TupleStream
+
+
+@given(
+    n=st.integers(min_value=1, max_value=5),
+    phases=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=20, deadline=None)
+def test_barrier_no_phase_skew(n, phases):
+    """No party observes another party more than one phase ahead."""
+    rt = LocalRuntime()
+    b = Barrier(rt, rt.main_ts, n)
+    b.setup()
+    observations = []
+    lock = threading.Lock()
+    phase_of = [0] * n
+
+    def party(proc, i):
+        for ph in range(phases):
+            gen = b.arrive(proc)
+            with lock:
+                phase_of[i] = gen
+                spread = max(phase_of) - min(phase_of)
+                observations.append(spread)
+
+    handles = [rt.eval_(party, i) for i in range(n)]
+    for h in handles:
+        h.join(timeout=60)
+    assert phase_of == [phases] * n
+    assert all(s <= 1 for s in observations)
+
+
+@given(
+    n_producers=st.integers(min_value=1, max_value=3),
+    n_consumers=st.integers(min_value=1, max_value=3),
+    per_producer=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=15, deadline=None)
+def test_stream_exactly_once(n_producers, n_consumers, per_producer):
+    rt = LocalRuntime()
+    s = TupleStream(rt.main_ts, "s")
+    s.create(rt)
+    total = n_producers * per_producer
+    # distribute consumption across consumers
+    quota = [total // n_consumers] * n_consumers
+    quota[0] += total - sum(quota)
+    results: list[int] = []
+    lock = threading.Lock()
+
+    def producer(proc, base):
+        for i in range(per_producer):
+            s.append(proc, base * 1000 + i)
+
+    def consumer(proc, count):
+        for _ in range(count):
+            v = s.pop(proc)
+            with lock:
+                results.append(v)
+
+    handles = [rt.eval_(producer, b) for b in range(n_producers)]
+    handles += [rt.eval_(consumer, q) for q in quota]
+    for h in handles:
+        h.join(timeout=60)
+    assert len(results) == total
+    assert len(set(results)) == total  # nothing duplicated, nothing lost
+    assert s.length(rt) == 0
+
+
+@given(
+    n_participants=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=15, deadline=None)
+def test_consensus_agreement_and_validity(n_participants, seed):
+    rt = LocalRuntime()
+    c = Consensus(rt.main_ts, "k")
+    decided: dict[int, object] = {}
+    barrier = threading.Barrier(n_participants)
+
+    def participant(proc, pid):
+        barrier.wait()
+        decided[pid] = c.agree(proc, pid, f"v{pid}")
+
+    handles = [rt.eval_(participant, i) for i in range(n_participants)]
+    for h in handles:
+        h.join(timeout=60)
+    values = set(decided.values())
+    assert len(values) == 1
+    assert values.pop() in {f"v{i}" for i in range(n_participants)}
+
+
+@given(
+    deltas=st.lists(st.integers(-5, 5), min_size=1, max_size=20),
+    n_threads=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=15, deadline=None)
+def test_distvar_sum_exact_under_concurrency(deltas, n_threads):
+    rt = LocalRuntime()
+    v = DistributedVariable(rt, rt.main_ts, "acc")
+    v.init(0)
+
+    def worker(proc):
+        inner = DistributedVariable(proc, proc.main_ts, "acc")
+        for d in deltas:
+            inner.add(d)
+
+    handles = [rt.eval_(worker) for _ in range(n_threads)]
+    for h in handles:
+        h.join(timeout=60)
+    assert v.value() == sum(deltas) * n_threads

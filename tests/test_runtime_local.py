@@ -1,0 +1,173 @@
+"""Unit/integration tests for the single-host LocalRuntime."""
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    AGS,
+    Guard,
+    LocalRuntime,
+    Op,
+    Resilience,
+    Scope,
+    ScopeError,
+    TimeoutError_,
+    formal,
+    ref,
+)
+
+
+@pytest.fixture
+def rt():
+    return LocalRuntime()
+
+
+class TestClassicOps:
+    def test_out_in_roundtrip(self, rt):
+        rt.out(rt.main_ts, "msg", "hello", 1)
+        t = rt.in_(rt.main_ts, "msg", formal(str), formal(int))
+        assert t == ("msg", "hello", 1)
+
+    def test_rd_leaves_tuple(self, rt):
+        rt.out(rt.main_ts, "x", 5)
+        assert rt.rd(rt.main_ts, "x", formal(int)) == ("x", 5)
+        assert rt.in_(rt.main_ts, "x", formal(int)) == ("x", 5)
+
+    def test_inp_hit_and_miss(self, rt):
+        assert rt.inp(rt.main_ts, "x", formal(int)) is None
+        rt.out(rt.main_ts, "x", 1)
+        assert rt.inp(rt.main_ts, "x", formal(int)) == ("x", 1)
+        assert rt.inp(rt.main_ts, "x", formal(int)) is None
+
+    def test_rdp(self, rt):
+        assert rt.rdp(rt.main_ts, "x") is None
+        rt.out(rt.main_ts, "x")
+        assert rt.rdp(rt.main_ts, "x") == ("x",)
+        assert rt.rdp(rt.main_ts, "x") == ("x",)
+
+    def test_in_blocks_until_available(self, rt):
+        got = []
+
+        def consumer():
+            got.append(rt.in_(rt.main_ts, "later", formal(int)))
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        time.sleep(0.05)
+        assert got == []
+        rt.out(rt.main_ts, "later", 9)
+        t.join(timeout=5)
+        assert got == [("later", 9)]
+
+    def test_in_timeout(self, rt):
+        with pytest.raises(TimeoutError_):
+            rt.in_(rt.main_ts, "never", timeout=0.05)
+        # the timed-out statement must not linger and steal later tuples
+        rt.out(rt.main_ts, "never")
+        assert rt.inp(rt.main_ts, "never") is not None
+
+    def test_move_copy(self, rt):
+        dst = rt.create_space("dst")
+        rt.out(rt.main_ts, "t", 1)
+        rt.out(rt.main_ts, "t", 2)
+        rt.copy(rt.main_ts, dst, "t", formal(int))
+        assert rt.space_size(dst) == 2
+        rt.move(rt.main_ts, dst, "t", formal(int))
+        assert rt.space_size(dst) == 4
+        assert rt.space_size(rt.main_ts) == 0
+
+
+class TestAGSExecution:
+    def test_fetch_and_add(self, rt):
+        rt.out(rt.main_ts, "c", 0)
+        res = rt.execute(
+            AGS.single(
+                Guard.in_(rt.main_ts, "c", formal(int, "v")),
+                [Op.out(rt.main_ts, "c", ref("v") + 5)],
+            )
+        )
+        assert res.succeeded and res["v"] == 0
+        assert rt.rd(rt.main_ts, "c", formal(int)) == ("c", 5)
+
+    def test_concurrent_increments_never_lose_updates(self, rt):
+        rt.out(rt.main_ts, "c", 0)
+        n_threads, n_iters = 8, 50
+        incr = AGS.single(
+            Guard.in_(rt.main_ts, "c", formal(int, "v")),
+            [Op.out(rt.main_ts, "c", ref("v") + 1)],
+        )
+
+        def worker():
+            for _ in range(n_iters):
+                rt.execute(incr)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rt.rd(rt.main_ts, "c", formal(int)) == ("c", n_threads * n_iters)
+
+
+class TestEval:
+    def test_eval_runs_and_returns(self, rt):
+        def child(proc, a, b):
+            proc.out(proc.main_ts, "sum", a + b)
+            return a + b
+
+        h = rt.eval_(child, 2, 3)
+        assert h.join(timeout=5) == 5
+        assert rt.in_(rt.main_ts, "sum", formal(int)) == ("sum", 5)
+
+    def test_eval_exception_reraised_on_join(self, rt):
+        def bad(proc):
+            raise ValueError("boom")
+
+        h = rt.eval_(bad)
+        with pytest.raises(ValueError):
+            h.join(timeout=5)
+
+    def test_producer_consumer_pipeline(self, rt):
+        def producer(proc, n):
+            for i in range(n):
+                proc.out(proc.main_ts, "item", i)
+
+        def consumer(proc, n):
+            return sum(proc.in_(proc.main_ts, "item", formal(int))[1] for _ in range(n))
+
+        hp = rt.eval_(producer, 20)
+        hc = rt.eval_(consumer, 20)
+        assert hc.join(timeout=10) == sum(range(20))
+        hp.join(timeout=5)
+
+
+class TestSpaces:
+    def test_create_and_use_space(self, rt):
+        h = rt.create_space("aux", Resilience.VOLATILE)
+        rt.out(h, "k", 1)
+        assert rt.in_(h, "k", formal(int)) == ("k", 1)
+
+    def test_private_space_scoping(self, rt):
+        h = rt.create_space("priv", Resilience.STABLE, Scope.PRIVATE, owner=1)
+        view1 = rt.view(1)
+        view1.out(h, "secret", 42)
+        assert view1.rd(h, "secret", formal(int)) == ("secret", 42)
+        view2 = rt.view(2)
+        with pytest.raises(ScopeError):
+            view2.out(h, "intrusion", 1)
+
+    def test_destroy_space(self, rt):
+        h = rt.create_space("tmp")
+        rt.destroy_space(h)
+        from repro import SpaceError
+
+        with pytest.raises(SpaceError):
+            rt.out(h, "x")
+
+    def test_handles_inside_tuples(self, rt):
+        h = rt.create_space("inner")
+        rt.out(rt.main_ts, "where", h)
+        t = rt.in_(rt.main_ts, "where", formal())
+        assert t[1] == h

@@ -1,0 +1,119 @@
+"""Unit tests for tuple-space attributes, handles and the registry."""
+
+import pytest
+
+from repro import Resilience, Scope, ScopeError, SpaceError, SpaceRegistry
+from repro.core.spaces import MAIN_TS
+from repro.core.tuples import make_tuple
+
+
+@pytest.fixture
+def reg():
+    return SpaceRegistry()
+
+
+class TestLifecycle:
+    def test_main_exists_by_default(self, reg):
+        assert reg.exists(MAIN_TS)
+        assert reg.store(MAIN_TS) is not None
+
+    def test_create_allocates_sequential_ids(self, reg):
+        a = reg.create("a")
+        b = reg.create("b")
+        assert b.id == a.id + 1
+        assert a != b
+
+    def test_create_attributes(self, reg):
+        h = reg.create("scratch", Resilience.VOLATILE, Scope.SHARED)
+        assert not h.stable
+        assert h.shared
+
+    def test_private_requires_owner(self, reg):
+        with pytest.raises(SpaceError):
+            reg.create("p", Resilience.STABLE, Scope.PRIVATE)
+        h = reg.create("p", Resilience.STABLE, Scope.PRIVATE, owner=7)
+        assert not h.shared
+
+    def test_destroy(self, reg):
+        h = reg.create("tmp")
+        reg.destroy(h)
+        assert not reg.exists(h)
+        with pytest.raises(SpaceError):
+            reg.store(h)
+
+    def test_destroy_twice_raises(self, reg):
+        h = reg.create("tmp")
+        reg.destroy(h)
+        with pytest.raises(SpaceError):
+            reg.destroy(h)
+
+    def test_main_cannot_be_destroyed(self, reg):
+        with pytest.raises(SpaceError):
+            reg.destroy(MAIN_TS)
+
+    def test_destroy_owned_by(self, reg):
+        reg.create("p1", Resilience.STABLE, Scope.PRIVATE, owner=3)
+        reg.create("p2", Resilience.STABLE, Scope.PRIVATE, owner=3)
+        keep = reg.create("p3", Resilience.STABLE, Scope.PRIVATE, owner=4)
+        doomed = reg.destroy_owned_by(3)
+        assert len(doomed) == 2
+        assert reg.exists(keep)
+
+
+class TestScope:
+    def test_private_access_by_owner_ok(self, reg):
+        h = reg.create("p", Resilience.STABLE, Scope.PRIVATE, owner=3)
+        assert reg.store(h, accessor=3) is not None
+
+    def test_private_access_by_other_rejected(self, reg):
+        h = reg.create("p", Resilience.STABLE, Scope.PRIVATE, owner=3)
+        with pytest.raises(ScopeError):
+            reg.store(h, accessor=4)
+
+    def test_runtime_internal_access_bypasses_scope(self, reg):
+        h = reg.create("p", Resilience.STABLE, Scope.PRIVATE, owner=3)
+        assert reg.store(h, accessor=None) is not None
+
+
+class TestEnumeration:
+    def test_handles_in_creation_order(self, reg):
+        a = reg.create("a")
+        b = reg.create("b")
+        assert reg.handles() == [MAIN_TS, a, b]
+
+    def test_stable_handles_filter(self, reg):
+        reg.create("v", Resilience.VOLATILE)
+        s = reg.create("s", Resilience.STABLE)
+        assert s in reg.stable_handles()
+        assert all(h.stable for h in reg.stable_handles())
+
+    def test_len_and_iter(self, reg):
+        reg.create("a")
+        assert len(reg) == 2
+        pairs = list(reg)
+        assert pairs[0][0] == MAIN_TS
+
+
+class TestSnapshot:
+    def test_roundtrip(self, reg):
+        h = reg.create("data")
+        reg.store(h).add(make_tuple("x", 1))
+        reg.store(MAIN_TS).add(make_tuple("y", 2))
+        snap = reg.snapshot(stable_only=False)
+        clone = SpaceRegistry.from_snapshot(snap)
+        assert clone.fingerprint() == reg.fingerprint()
+        assert clone.store(h).to_list() == [("x", 1)]
+        # id allocation continues identically
+        assert clone.create("z") == reg.create("z")
+
+    def test_stable_only_excludes_volatile(self, reg):
+        v = reg.create("v", Resilience.VOLATILE)
+        reg.store(v).add(make_tuple("x", 1))
+        snap = reg.snapshot(stable_only=True)
+        clone = SpaceRegistry.from_snapshot(snap)
+        assert not clone.exists(v)
+
+    def test_first_id_partitioning(self):
+        vol = SpaceRegistry(create_main=False, first_id=1_000_000)
+        h = vol.create("v", Resilience.VOLATILE)
+        assert h.id == 1_000_000

@@ -1,0 +1,204 @@
+"""Tests for tuple-space synchronization primitives (semaphore/mutex/RW)."""
+
+import threading
+import time
+
+import pytest
+
+from repro import LocalRuntime
+from repro.paradigms.sync import Mutex, RWLock, Semaphore
+
+
+@pytest.fixture
+def rt():
+    return LocalRuntime()
+
+
+class TestSemaphore:
+    def test_acquire_release_roundtrip(self, rt):
+        s = Semaphore(rt.main_ts, "s", 2)
+        s.create(rt)
+        assert s.available(rt) == 2
+        s.acquire(rt, holder=1)
+        assert s.available(rt) == 1
+        s.release(rt, holder=1)
+        assert s.available(rt) == 2
+
+    def test_try_acquire(self, rt):
+        s = Semaphore(rt.main_ts, "s", 1)
+        s.create(rt)
+        assert s.try_acquire(rt, 1)
+        assert not s.try_acquire(rt, 2)
+        s.release(rt, 1)
+        assert s.try_acquire(rt, 2)
+
+    def test_blocking_acquire_waits(self, rt):
+        s = Semaphore(rt.main_ts, "s", 1)
+        s.create(rt)
+        s.acquire(rt, 1)
+        got = []
+
+        def waiter(proc):
+            s.acquire(proc, 2)
+            got.append("acquired")
+
+        h = rt.eval_(waiter)
+        time.sleep(0.05)
+        assert got == []
+        s.release(rt, 1)
+        h.join(timeout=10)
+        assert got == ["acquired"]
+
+    def test_mutual_exclusion_bound(self, rt):
+        s = Semaphore(rt.main_ts, "s", 3)
+        s.create(rt)
+        inside = []
+        peak = []
+        lock = threading.Lock()
+
+        def worker(proc, wid):
+            for _ in range(5):
+                s.acquire(proc, wid)
+                with lock:
+                    inside.append(wid)
+                    peak.append(len(inside))
+                time.sleep(0.001)
+                with lock:
+                    inside.remove(wid)
+                s.release(proc, wid)
+
+        handles = [rt.eval_(worker, w) for w in range(6)]
+        for h in handles:
+            h.join(timeout=30)
+        assert max(peak) <= 3  # never more than `permits` inside
+
+    def test_crashed_holder_recovered_by_monitor(self, rt):
+        s = Semaphore(rt.main_ts, "s", 2)
+        s.create(rt)
+        s.acquire(rt, holder=7)
+        s.acquire(rt, holder=7)
+        assert s.available(rt) == 0
+        # holder 7 "crashes"; the monitor action releases its permits
+        recovered = s.release_holder(rt, 7)
+        assert recovered == 2
+        assert s.available(rt) == 2
+
+    def test_release_holder_idempotent(self, rt):
+        s = Semaphore(rt.main_ts, "s", 1)
+        s.create(rt)
+        assert s.release_holder(rt, 9) == 0
+
+    def test_invalid_permits(self, rt):
+        with pytest.raises(ValueError):
+            Semaphore(rt.main_ts, "s", 0)
+
+
+class TestMutex:
+    def test_is_binary(self, rt):
+        m = Mutex(rt.main_ts, "m")
+        m.create(rt)
+        assert m.try_acquire(rt, 1)
+        assert not m.try_acquire(rt, 2)
+        m.release(rt, 1)
+
+    def test_critical_section_exclusive(self, rt):
+        m = Mutex(rt.main_ts, "m")
+        m.create(rt)
+        counter = {"v": 0}
+
+        def worker(proc, wid):
+            for _ in range(20):
+                m.acquire(proc, wid)
+                v = counter["v"]  # unprotected read-modify-write...
+                time.sleep(0)  # ...made safe only by the mutex
+                counter["v"] = v + 1
+                m.release(proc, wid)
+
+        handles = [rt.eval_(worker, w) for w in range(4)]
+        for h in handles:
+            h.join(timeout=30)
+        assert counter["v"] == 80
+
+
+class TestRWLock:
+    def test_readers_share(self, rt):
+        rw = RWLock(rt.main_ts, "rw", max_readers=4)
+        rw.create(rt)
+        concurrent = []
+        inside = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(3)
+
+        def reader(proc, rid):
+            rw.acquire_read(proc, rid)
+            with lock:
+                inside.append(rid)
+                concurrent.append(len(inside))
+            barrier.wait(5)  # all three must be inside simultaneously
+            with lock:
+                inside.remove(rid)
+            rw.release_read(proc, rid)
+
+        handles = [rt.eval_(reader, r) for r in range(3)]
+        for h in handles:
+            h.join(timeout=30)
+        assert max(concurrent) == 3
+
+    def test_writer_excludes_everyone(self, rt):
+        rw = RWLock(rt.main_ts, "rw", max_readers=3)
+        rw.create(rt)
+        log = []
+        lock = threading.Lock()
+
+        def writer(proc):
+            rw.acquire_write(proc, 100)
+            with lock:
+                log.append("w-in")
+            time.sleep(0.02)
+            with lock:
+                log.append("w-out")
+            rw.release_write(proc, 100)
+
+        def reader(proc, rid):
+            rw.acquire_read(proc, rid)
+            with lock:
+                log.append(f"r{rid}")
+            rw.release_read(proc, rid)
+
+        hw = rt.eval_(writer)
+        time.sleep(0.005)
+        readers = [rt.eval_(reader, r) for r in range(3)]
+        hw.join(timeout=30)
+        for h in readers:
+            h.join(timeout=30)
+        w_in, w_out = log.index("w-in"), log.index("w-out")
+        # no reader event between the writer's entry and exit
+        assert all(not (w_in < log.index(f"r{r}") < w_out) for r in range(3))
+
+    def test_write_then_read_sequential(self, rt):
+        rw = RWLock(rt.main_ts, "rw", max_readers=2)
+        rw.create(rt)
+        rw.acquire_write(rt, 1)
+        rw.release_write(rt, 1)
+        rw.acquire_read(rt, 2)
+        rw.release_read(rt, 2)
+        rw.acquire_write(rt, 3)
+        rw.release_write(rt, 3)
+
+    def test_writer_waits_for_active_readers(self, rt):
+        rw = RWLock(rt.main_ts, "rw", max_readers=2)
+        rw.create(rt)
+        rw.acquire_read(rt, 1)
+        order = []
+
+        def writer(proc):
+            rw.acquire_write(proc, 9)
+            order.append("writer")
+            rw.release_write(proc, 9)
+
+        h = rt.eval_(writer)
+        time.sleep(0.05)
+        order.append("release-read")
+        rw.release_read(rt, 1)
+        h.join(timeout=30)
+        assert order == ["release-read", "writer"]

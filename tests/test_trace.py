@@ -1,0 +1,78 @@
+"""Tests for the protocol tracer."""
+
+from repro import formal
+from repro.consul import ClusterConfig, SimCluster
+from repro.sim.trace import Tracer
+
+LIMIT = 240_000_000.0
+
+
+def writer(view, n):
+    for i in range(n):
+        yield view.out(view.main_ts, "x", i)
+
+
+def test_trace_records_sequencing_and_delivery():
+    c = SimCluster(ClusterConfig(n_hosts=3, seed=61))
+    tracer = Tracer().attach(c)
+    p = c.spawn(1, writer, 3)
+    c.run_until(p.finished, limit=LIMIT)
+    assert tracer.count(layer="ord", event="sequence") == 3
+    # every command is delivered on all three hosts
+    assert tracer.count(layer="ord", event="deliver_up") == 9
+    # deliveries carry their sequence numbers and are in host-local order
+    for h in range(3):
+        seqnos = [
+            int(str(e.detail).split("seqno=")[1].split()[0])
+            for e in tracer.select(host=h, layer="ord", event="deliver_up")
+        ]
+        assert seqnos == sorted(seqnos)
+
+
+def test_trace_records_failure_lifecycle():
+    c = SimCluster(ClusterConfig(n_hosts=3, seed=62))
+    tracer = Tracer().attach(c)
+    p = c.spawn(0, writer, 2)
+    c.run_until(p.finished, limit=LIMIT)
+    c.crash(2)
+    c.settle(2_000_000)
+    assert tracer.count(layer="mem", event="suspect") >= 1
+    assert tracer.count(layer="mem", event="deliver_failed") >= 2  # both live hosts
+    c.recover(2)
+    c.run_until(c.replica(2).recovered_event, limit=LIMIT)
+    assert tracer.count(layer="mem", event="deliver_recovered") >= 2
+    assert tracer.count(layer="replica", event="maybe_send_snapshot") >= 1
+    assert tracer.count(layer="replica", event="install_snapshot") == 1
+
+
+def test_trace_filters_and_render():
+    c = SimCluster(ClusterConfig(n_hosts=2, seed=63))
+    tracer = Tracer().attach(c)
+    p = c.spawn(0, writer, 2)
+    c.run_until(p.finished, limit=LIMIT)
+    only_h0 = tracer.select(host=0)
+    assert only_h0 and all(e.host == 0 for e in only_h0)
+    text = tracer.render(layer="ord", limit=5)
+    assert "ord" in text
+    assert len(text.splitlines()) <= 5
+
+
+def test_trace_capacity_bounded():
+    c = SimCluster(ClusterConfig(n_hosts=2, seed=64))
+    tracer = Tracer(capacity=5).attach(c)
+    p = c.spawn(0, writer, 10)
+    c.run_until(p.finished, limit=LIMIT)
+    assert len(tracer) == 5
+
+
+def test_tracing_does_not_change_behavior():
+    def run(traced):
+        c = SimCluster(ClusterConfig(n_hosts=3, seed=65))
+        if traced:
+            Tracer().attach(c)
+        p = c.spawn(1, writer, 5)
+        c.run_until(p.finished, limit=LIMIT)
+        c.settle(1_000_000)
+        return c.replica(0).stable_fingerprint(), c.sim.now
+
+    assert run(False) == run(True)

@@ -1,0 +1,155 @@
+"""Unit tests for the tuple/pattern data model."""
+
+import pytest
+
+from repro import Formal, LindaTuple, MatchTypeError, Pattern, TupleError, formal
+from repro.core.spaces import MAIN_TS, TSHandle
+from repro.core.tuples import is_valid_field, match, make_tuple, signature_of
+
+
+class TestLindaTuple:
+    def test_fields_and_arity(self):
+        t = make_tuple("count", 3)
+        assert t.arity == 2
+        assert t[0] == "count"
+        assert t[1] == 3
+        assert list(t) == ["count", 3]
+
+    def test_signature_uses_exact_types(self):
+        assert make_tuple("a", 1).signature == ("str", "int")
+        assert make_tuple("a", 1.0).signature == ("str", "float")
+        assert make_tuple(True).signature == ("bool",)
+        assert make_tuple(b"x").signature == ("bytes",)
+        assert make_tuple(None).signature == ("NoneType",)
+
+    def test_bool_is_not_int_in_signature(self):
+        assert make_tuple(True).signature != make_tuple(1).signature
+
+    def test_equality_and_hash_are_value_based(self):
+        assert make_tuple("a", 1) == make_tuple("a", 1)
+        assert hash(make_tuple("a", 1)) == hash(make_tuple("a", 1))
+        assert make_tuple("a", 1) != make_tuple("a", 2)
+
+    def test_equality_with_raw_tuple(self):
+        assert make_tuple("a", 1) == ("a", 1)
+
+    def test_nested_tuples_allowed(self):
+        t = make_tuple("point", (1, 2, (3, "x")))
+        assert t[1] == (1, 2, (3, "x"))
+
+    def test_ts_handles_are_valid_fields(self):
+        t = make_tuple("space", MAIN_TS)
+        assert t[1] is MAIN_TS
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(TupleError):
+            LindaTuple(())
+
+    def test_mutable_fields_rejected(self):
+        with pytest.raises(TupleError):
+            make_tuple("xs", [1, 2])
+        with pytest.raises(TupleError):
+            make_tuple("d", {"a": 1})
+
+    def test_nested_mutable_rejected(self):
+        with pytest.raises(TupleError):
+            make_tuple("xs", (1, [2]))
+
+    def test_formal_in_tuple_rejected(self):
+        with pytest.raises(TupleError):
+            make_tuple("a", formal(int))
+
+
+class TestFormal:
+    def test_typed_formal_matches_only_its_type(self):
+        f = formal(int)
+        assert f.matches_value(5)
+        assert not f.matches_value(5.0)
+        assert not f.matches_value(True)  # bool is not int here
+
+    def test_untyped_formal_matches_anything(self):
+        f = formal()
+        assert f.matches_value(5)
+        assert f.matches_value("x")
+        assert f.matches_value(None)
+        assert not f.typed
+
+    def test_invalid_formal_type_rejected(self):
+        with pytest.raises(MatchTypeError):
+            Formal(list)
+
+    def test_formal_equality(self):
+        assert formal(int, "x") == formal(int, "x")
+        assert formal(int, "x") != formal(int, "y")
+        assert formal(int) != formal(float)
+
+
+class TestPattern:
+    def test_all_actuals_matches_exact_tuple(self):
+        p = Pattern(("count", 3))
+        assert p.matches(make_tuple("count", 3))
+        assert not p.matches(make_tuple("count", 4))
+
+    def test_arity_mismatch(self):
+        p = Pattern(("count", formal(int)))
+        assert not p.matches(make_tuple("count", 3, 4))
+        assert not p.matches(make_tuple("count"))
+
+    def test_actual_type_must_match_exactly(self):
+        p = Pattern(("count", 1))
+        assert not p.matches(make_tuple("count", 1.0))
+        assert not p.matches(make_tuple("count", True))
+
+    def test_typed_formal_position(self):
+        p = Pattern(("count", formal(int)))
+        assert p.matches(make_tuple("count", 7))
+        assert not p.matches(make_tuple("count", "7"))
+
+    def test_binding_of_named_formals(self):
+        p = Pattern(("job", formal(int, "id"), formal(str, "name")))
+        t = make_tuple("job", 4, "sort")
+        assert p.bind(t) == {"id": 4, "name": "sort"}
+
+    def test_anonymous_formals_do_not_bind(self):
+        p = Pattern(("job", formal(int)))
+        assert p.bind(make_tuple("job", 1)) == {}
+
+    def test_duplicate_formal_names_rejected(self):
+        with pytest.raises(TupleError):
+            Pattern((formal(int, "x"), formal(int, "x")))
+
+    def test_signature_includes_formal_types(self):
+        p = Pattern(("a", formal(int)))
+        assert p.signature == ("str", "int")
+        assert p.exact_signature
+
+    def test_untyped_formal_makes_signature_inexact(self):
+        p = Pattern(("a", formal()))
+        assert not p.exact_signature
+        assert p.signature == ("str", "?")
+
+    def test_first_actual(self):
+        assert Pattern(("a", 1)).first_actual == "a"
+        assert Pattern((formal(str), 1)).first_actual is None
+
+    def test_match_helper_returns_binding_or_none(self):
+        p = Pattern(("c", formal(int, "v")))
+        assert match(p, make_tuple("c", 2)) == {"v": 2}
+        assert match(p, make_tuple("d", 2)) is None
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(TupleError):
+            Pattern(())
+
+
+class TestSignatures:
+    def test_signature_of_values(self):
+        assert signature_of(["a", 1, 2.0]) == ("str", "int", "float")
+
+    def test_is_valid_field(self):
+        assert is_valid_field(1)
+        assert is_valid_field("x")
+        assert is_valid_field((1, (2, "a")))
+        assert not is_valid_field([1])
+        assert not is_valid_field(object())
+        assert is_valid_field(TSHandle(5, "t", MAIN_TS.resilience, MAIN_TS.scope))
