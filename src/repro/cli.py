@@ -9,6 +9,12 @@ Run::
 
     python -m repro.cli
     python -m repro.cli --program examples/worker.ftl
+    python -m repro.cli metrics --backend multiproc --ops 500
+
+The ``metrics`` subcommand drives a small tuple-churn workload on a
+chosen backend and prints the runtime's metrics snapshot (submit→order,
+order→apply and end-to-end AGS latency histograms, plus batching
+counters) — the quickest way to see what the replication pipeline costs.
 
 Commands (everything else is compiled as an FT-lcc statement)::
 
@@ -18,6 +24,7 @@ Commands (everything else is compiled as an FT-lcc statement)::
     .load FILE                 load an .ftl program (binds its spaces)
     .run NAME [k=v ...]        run a named program statement
     .fail HOST                 inject a failure notification
+    .metrics                   show runtime latency/throughput metrics
     .catalog                   show the signature catalog
     .help                      this text
     .quit                      leave
@@ -159,6 +166,10 @@ class FtlShell:
         elif cmd == ".fail":
             self.rt.inject_failure(int(args[0]))
             self._print(f"failure tuple deposited for host {args[0]}")
+        elif cmd == ".metrics":
+            from repro.obs.metrics import format_snapshot
+
+            self._print(format_snapshot(self.rt.metrics_snapshot()))
         elif cmd == ".catalog":
             for sig in self.catalog.signatures():
                 self._print(f"  ({', '.join(sig)})")
@@ -183,7 +194,77 @@ def _parse_value(text: str) -> Any:
     return text
 
 
+def _metrics_main(argv: list[str]) -> int:
+    """``python -m repro.cli metrics``: run a workload, print metrics."""
+    import threading
+
+    from repro.obs.metrics import format_snapshot
+
+    parser = argparse.ArgumentParser(
+        prog="ftlsh metrics",
+        description="drive a tuple-churn workload and print runtime metrics",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("local", "threaded", "multiproc"),
+        default="local",
+        help="runtime to measure (default: local)",
+    )
+    parser.add_argument("--ops", type=int, default=200, help="total out/in pairs")
+    parser.add_argument("--clients", type=int, default=4, help="client threads")
+    parser.add_argument(
+        "--replicas", type=int, default=3, help="replica count (non-local backends)"
+    )
+    parser.add_argument(
+        "--no-batching",
+        action="store_true",
+        help="disable command batching (non-local backends)",
+    )
+    opts = parser.parse_args(argv)
+
+    if opts.backend == "local":
+        rt = LocalRuntime()
+    elif opts.backend == "threaded":
+        from repro.parallel import ThreadedReplicaRuntime
+
+        rt = ThreadedReplicaRuntime(opts.replicas, batching=not opts.no_batching)
+    else:
+        from repro.parallel import MultiprocessRuntime
+
+        rt = MultiprocessRuntime(opts.replicas, batching=not opts.no_batching)
+
+    per_client = max(1, opts.ops // max(1, opts.clients))
+
+    def churn(client: int) -> None:
+        for k in range(per_client):
+            rt.out(rt.main_ts, "metrics-op", client, k)
+            rt.in_(rt.main_ts, "metrics-op", client, k)
+
+    try:
+        threads = [
+            threading.Thread(target=churn, args=(c,), name=f"client-{c}")
+            for c in range(opts.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        print(
+            f"backend={opts.backend} clients={opts.clients} "
+            f"ops={per_client * opts.clients}"
+        )
+        print(format_snapshot(rt.metrics_snapshot()))
+    finally:
+        shutdown = getattr(rt, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "metrics":
+        return _metrics_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ftlsh", description="interactive FT-Linda shell"
     )

@@ -239,6 +239,22 @@ class SimCluster:
     # consistency checks (tests)
     # ------------------------------------------------------------------ #
 
+    def metrics_snapshot(self, host_id: int | None = None) -> dict[str, Any]:
+        """Merged metrics of every replica host (or one host's, if given).
+
+        Same instrument names as the real-time backends
+        (``submit_to_order``, ``order_to_apply``, ``ags_e2e``), with
+        virtual-time latencies reported in seconds.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        if host_id is not None:
+            return self.replica(host_id).metrics.snapshot()
+        merged = MetricsRegistry()
+        for hid in self.replica_ids:
+            merged.merge(self.replica(hid).metrics)
+        return merged.snapshot()
+
     def converged(self) -> bool:
         """True when all live, non-recovering replicas have equal state."""
         prints = [

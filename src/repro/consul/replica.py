@@ -38,6 +38,7 @@ from repro.core.statemachine import (
     HostRecovered,
     TSStateMachine,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.kernel import SimEvent
 from repro.xkernel.message import Message
 from repro.xkernel.protocol import Protocol
@@ -115,6 +116,15 @@ class ReplicaLayer(Protocol):
         self._last_snapshot: dict[int, Any] = {}  # recovered host -> snapshot
         self._last_snapshot_sent: dict[int, float] = {}
         self._snapshot_fragments: dict[Any, dict[int, bytes]] = {}
+        # Same instrument names as the real-time backends, so every
+        # experiment reports the same numbers; sim virtual µs -> seconds.
+        self.metrics = MetricsRegistry()
+        self._h_submit = self.metrics.histogram("submit_to_order")
+        self._h_apply = self.metrics.histogram("order_to_apply")
+        self._h_e2e = self.metrics.histogram("ags_e2e")
+        self._c_cmds = self.metrics.counter("commands_submitted")
+        self._submit_t: dict[int, float] = {}
+        self._order_t: dict[int, float] = {}
 
     def _fresh_volatile(self) -> TSStateMachine:
         reg = SpaceRegistry(
@@ -154,6 +164,7 @@ class ReplicaLayer(Protocol):
         cmd = ExecuteAGS(rid, self.host.id, process_id, ags)
         ev = self.host.sim.event(f"ags#{rid}")
         self.waiting[rid] = ev
+        self._note_submitted(rid)
         if domain == "volatile":
             self.host.cpu(
                 self._apply_local,
@@ -174,6 +185,7 @@ class ReplicaLayer(Protocol):
         rid = self._next_request_id()
         ev = self.host.sim.event(f"ts_create#{rid}")
         self.waiting[rid] = ev
+        self._note_submitted(rid)
         if resilience is Resilience.VOLATILE:
             cmd = CreateSpace(rid, self.host.id, name, resilience, scope, owner)
             self.host.cpu(self._apply_local, cmd, cost_us=self.cfg.apply_base_us)
@@ -187,12 +199,17 @@ class ReplicaLayer(Protocol):
         rid = self._next_request_id()
         ev = self.host.sim.event(f"ts_destroy#{rid}")
         self.waiting[rid] = ev
+        self._note_submitted(rid)
         cmd = DestroySpace(rid, self.host.id, handle)
         if handle.stable:
             self._submit_ordered(cmd)
         else:
             self.host.cpu(self._apply_local, cmd, cost_us=self.cfg.apply_base_us)
         return ev
+
+    def _note_submitted(self, rid: int) -> None:
+        self._c_cmds.inc()
+        self._submit_t[rid] = self.host.sim.now
 
     def _submit_ordered(self, cmd: Command) -> None:
         if self.recovering:
@@ -231,6 +248,11 @@ class ReplicaLayer(Protocol):
         # charged to the completion notifications below.
         completions = self.sm.apply(cmd)
         self.commands_applied += 1
+        rid = getattr(cmd, "request_id", None)
+        if rid is not None and rid in self._submit_t and rid not in self._order_t:
+            now = self.host.sim.now
+            self._order_t[rid] = now
+            self._h_submit.record((now - self._submit_t[rid]) / 1e6)
         if isinstance(cmd, HostRecovered) and seqno is not None:
             self._maybe_send_snapshot(cmd.recovered_host, seqno)
         from repro.core.statemachine import HostFailed
@@ -248,6 +270,13 @@ class ReplicaLayer(Protocol):
         for c in completions:
             if c.origin_host != self.host.id:
                 continue
+            now = self.host.sim.now
+            t_ord = self._order_t.pop(c.request_id, None)
+            if t_ord is not None:
+                self._h_apply.record((now - t_ord) / 1e6)
+            t_sub = self._submit_t.pop(c.request_id, None)
+            if t_sub is not None:
+                self._h_e2e.record((now - t_sub) / 1e6)
             ev = self.waiting.pop(c.request_id, None)
             if ev is not None and not ev.triggered:
                 ev.succeed(c.result)
@@ -367,6 +396,8 @@ class ReplicaLayer(Protocol):
     def host_crashed(self) -> None:
         self.waiting.clear()
         self._queued_submissions.clear()
+        self._submit_t.clear()
+        self._order_t.clear()
         self.volatile = self._fresh_volatile()
         self._last_snapshot.clear()
         self._snapshot_fragments.clear()

@@ -22,6 +22,7 @@ order and snapshots are equally deterministic.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Iterator, Mapping
 
 from repro.core.tuples import LindaTuple, Pattern
@@ -38,8 +39,6 @@ def stable_hash(obj: Any) -> int:
     (scalars, nested tuples, TSHandles, enums) is canonical, so hashing
     its bytes gives a process-independent digest.
     """
-    import hashlib
-
     digest = hashlib.blake2b(repr(obj).encode(), digest_size=8).digest()
     return int.from_bytes(digest, "big", signed=True)
 
@@ -151,16 +150,26 @@ class TupleStore:
             bucket = self._by_sig.get(sig)
             return [(sig, bucket)] if bucket else []
         # Untyped formals: scan arity-compatible buckets whose signature
-        # agrees with the pattern at every typed position.
+        # agrees with the pattern at every typed position.  When the first
+        # field is a bound actual (the usual channel-name idiom), narrow
+        # each compatible signature through the key index instead — buckets
+        # holding no tuple with that first field are skipped entirely.
         out = []
         psig = pattern.signature
         arity = pattern.arity
+        first = pattern.first_actual
         wild = {i for i, f in pattern.formal_positions if not f.typed}
         for sig, bucket in self._by_sig.items():
             if len(sig) != arity:
                 continue
-            if all(sig[i] == psig[i] for i in range(arity) if i not in wild):
-                out.append((sig, bucket))
+            if not all(sig[i] == psig[i] for i in range(arity) if i not in wild):
+                continue
+            if first is not None:
+                keyed = self._key_index.get((sig, first))
+                if keyed:
+                    out.append((sig, keyed))
+                continue
+            out.append((sig, bucket))
         return out
 
     def find(self, pattern: Pattern, *, remove: bool) -> Match | None:

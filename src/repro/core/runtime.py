@@ -28,6 +28,7 @@ from __future__ import annotations
 import abc
 import itertools
 import threading
+import time
 from typing import Any, Callable, Sequence
 
 from repro._errors import AGSError, RuntimeFailure, TimeoutError_
@@ -41,6 +42,7 @@ from repro.core.statemachine import (
     TSStateMachine,
 )
 from repro.core.tuples import Formal, LindaTuple
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["BaseRuntime", "LocalRuntime", "ProcessView"]
 
@@ -93,6 +95,10 @@ class BaseRuntime(abc.ABC):
     user-facing is defined here so all backends behave identically.
     """
 
+    def __init__(self) -> None:
+        self._proc_ids = itertools.count(1)
+        self._procs: list["ProcessHandle"] = []
+
     # ------------------------------------------------------------------ #
     # abstract transport
     # ------------------------------------------------------------------ #
@@ -117,7 +123,6 @@ class BaseRuntime(abc.ABC):
     def destroy_space(self, handle: TSHandle) -> None:
         """``ts_destroy``."""
 
-    @abc.abstractmethod
     def eval_(
         self, fn: Callable[..., Any], *args: Any, process_id: int | None = None
     ) -> "ProcessHandle":
@@ -127,7 +132,36 @@ class BaseRuntime(abc.ABC):
         its first argument, then *args*.  ``eval`` is deliberately NOT
         allowed inside an AGS (Sec. 3's restrictions), hence a runtime
         method rather than an opcode.
+
+        Every single-machine backend spawns Linda processes as client
+        threads (replication happens underneath, in the command pipeline),
+        so the default implementation lives here once.
         """
+        pid = process_id if process_id is not None else next(self._proc_ids)
+        handle = ProcessHandle(pid)
+
+        def run() -> None:
+            try:
+                handle._result = fn(self.view(pid), *args)
+            except BaseException as exc:  # noqa: BLE001 - reported via join()
+                handle._error = exc
+
+        t = threading.Thread(target=run, name=f"linda-proc-{pid}", daemon=True)
+        handle._thread = t
+        self._procs.append(handle)
+        t.start()
+        return handle
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Plain-data image of this runtime's metrics registry.
+
+        Every backend exposes the same instruments (``submit_to_order``,
+        ``order_to_apply``, ``ags_e2e`` histograms plus submission
+        counters) so experiments can report identical numbers regardless
+        of where they ran.  Runtimes without a registry return ``{}``.
+        """
+        metrics = getattr(self, "metrics", None)
+        return metrics.snapshot() if metrics is not None else {}
 
     # ------------------------------------------------------------------ #
     # the Linda operations (single-op AGS sugar)
@@ -361,13 +395,17 @@ class LocalRuntime(BaseRuntime):
     """
 
     def __init__(self, *, op_stats: bool = False):
+        super().__init__()
         self._sm = TSStateMachine(op_stats=op_stats)
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._req_ids = itertools.count(1)
-        self._proc_ids = itertools.count(1)
         self._results: dict[int, AGSResult] = {}
-        self._procs: list[ProcessHandle] = []
+        self.metrics = MetricsRegistry()
+        self._h_submit = self.metrics.histogram("submit_to_order")
+        self._h_apply = self.metrics.histogram("order_to_apply")
+        self._h_e2e = self.metrics.histogram("ags_e2e")
+        self._c_cmds = self.metrics.counter("commands_submitted")
 
     # ------------------------------------------------------------------ #
     # BaseRuntime implementation
@@ -376,18 +414,27 @@ class LocalRuntime(BaseRuntime):
     def _submit(
         self, ags: AGS, process_id: int, *, timeout: float | None = None
     ) -> AGSResult:
+        t_submit = _now()
+        self._c_cmds.inc()
         with self._cond:
+            # lock acquisition is this runtime's total order: waiting for
+            # the lock is the submit->order leg, executing is order->apply
+            t_ordered = _now()
+            self._h_submit.record(t_ordered - t_submit)
             rid = next(self._req_ids)
             completions = self._sm.apply(
                 ExecuteAGS(rid, _LOCAL_ORIGIN, process_id, ags)
             )
+            self._h_apply.record(_now() - t_ordered)
             for c in completions:
                 self._results[c.request_id] = c.result
             if any(c.request_id != rid for c in completions):
                 # our statement unblocked someone else's — wake their threads
                 self._cond.notify_all()
             if rid in self._results:
-                return self._results.pop(rid)
+                result = self._results.pop(rid)
+                self._h_e2e.record(_now() - t_submit)
+                return result
             # parked: wait until some later statement completes ours
             deadline = None if timeout is None else _now() + timeout
             while rid not in self._results:
@@ -398,7 +445,9 @@ class LocalRuntime(BaseRuntime):
                         f"in/rd guard not satisfied within {timeout}s"
                     )
                 self._cond.wait(remaining)
-            return self._results.pop(rid)
+            result = self._results.pop(rid)
+            self._h_e2e.record(_now() - t_submit)
+            return result
 
     def _cancel_blocked(self, rid: int) -> None:
         self._sm.blocked = [
@@ -429,24 +478,6 @@ class LocalRuntime(BaseRuntime):
             result = completions[0].result
             if isinstance(result, Exception):
                 raise result
-
-    def eval_(
-        self, fn: Callable[..., Any], *args: Any, process_id: int | None = None
-    ) -> ProcessHandle:
-        pid = process_id if process_id is not None else next(self._proc_ids)
-        handle = ProcessHandle(pid)
-
-        def run() -> None:
-            try:
-                handle._result = fn(self.view(pid), *args)
-            except BaseException as exc:  # noqa: BLE001 - reported via join()
-                handle._error = exc
-
-        t = threading.Thread(target=run, name=f"linda-proc-{pid}", daemon=True)
-        handle._thread = t
-        self._procs.append(handle)
-        t.start()
-        return handle
 
     def join_all(self, timeout: float | None = None) -> None:
         """Wait for every ``eval``'ed process to finish."""
@@ -507,6 +538,4 @@ class LocalRuntime(BaseRuntime):
 
 
 def _now() -> float:
-    import time
-
     return time.monotonic()

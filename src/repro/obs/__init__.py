@@ -1,0 +1,12 @@
+"""Runtime observability: counters and latency histograms.
+
+Buravlev et al. (PAPERS.md) show that the *submission path* — ordering
+plus marshalling — dominates tuple-space cost.  To optimize that path we
+must first measure it, identically, on every backend.  This package holds
+the one metrics implementation all runtimes share; see
+:mod:`repro.obs.metrics`.
+"""
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, format_snapshot
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "format_snapshot"]

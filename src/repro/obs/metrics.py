@@ -1,0 +1,244 @@
+"""Counters and latency histograms shared by every runtime backend.
+
+The replication pipeline is instrumented at three points, with the same
+instrument names everywhere so experiments on different backends report
+directly comparable numbers:
+
+- ``submit_to_order`` — from a client calling submit to its command being
+  assigned a slot in the total order (sequencer wait + batching delay);
+- ``order_to_apply`` — from sequencing to the origin replica reporting the
+  command's completion (transport transit + state-machine apply);
+- ``ags_e2e`` — the whole client-visible latency of one AGS.
+
+Histograms use geometric (log-scale) buckets: latencies span five orders
+of magnitude between an in-process apply and a cross-process round trip,
+and a log scale keeps relative resolution constant across that span.
+Everything is thread-safe; the replica-group collector threads and any
+number of client threads record concurrently.
+
+Units: the real-time backends record **seconds**; the simulated cluster
+records virtual microseconds divided by 1e6, i.e. virtual seconds — the
+same scale, so snapshots render identically.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "format_snapshot"]
+
+
+class Counter:
+    """A monotonically increasing, thread-safe counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def merge(self, other: "Counter") -> None:
+        self.inc(other.value)
+
+    def snapshot(self) -> int:
+        return self._value
+
+
+class Histogram:
+    """Geometric-bucket histogram for latency-like values.
+
+    Bucket *i* covers values up to ``lo * factor**i``; one overflow bucket
+    catches everything beyond the last boundary.  Quantiles are resolved
+    to a bucket upper bound — exact enough for latency reporting, cheap
+    enough for the hot path (one bisect + two adds per record).
+    """
+
+    __slots__ = (
+        "name", "_bounds", "_buckets", "_count", "_sum", "_min", "_max", "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        lo: float = 1e-6,
+        factor: float = 2.0,
+        n_buckets: int = 30,
+    ):
+        self.name = name
+        bounds: list[float] = []
+        b = lo
+        for _ in range(n_buckets):
+            bounds.append(b)
+            b *= factor
+        self._bounds = bounds
+        self._buckets = [0] * (n_buckets + 1)  # +1 = overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        idx = bisect_left(self._bounds, value)
+        with self._lock:
+            self._buckets[idx] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-th fraction of samples."""
+        with self._lock:
+            if not self._count:
+                return 0.0
+            target = q * self._count
+            seen = 0
+            for i, n in enumerate(self._buckets):
+                seen += n
+                if seen >= target:
+                    if i < len(self._bounds):
+                        return self._bounds[i]
+                    return self._max if self._max is not None else 0.0
+            return self._max if self._max is not None else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other*'s samples into this histogram (same bucket layout)."""
+        if other._bounds != self._bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bucket layouts "
+                f"({self.name!r} vs {other.name!r})"
+            )
+        with other._lock:
+            buckets = list(other._buckets)
+            count, total = other._count, other._sum
+            omin, omax = other._min, other._max
+        with self._lock:
+            for i, n in enumerate(buckets):
+                self._buckets[i] += n
+            self._count += count
+            self._sum += total
+            if omin is not None and (self._min is None or omin < self._min):
+                self._min = omin
+            if omax is not None and (self._max is None or omax > self._max):
+                self._max = omax
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            count, total = self._count, self._sum
+            vmin, vmax = self._min, self._max
+            buckets = {
+                f"le_{self._bounds[i]:g}" if i < len(self._bounds) else "overflow": n
+                for i, n in enumerate(self._buckets)
+                if n
+            }
+        return {
+            "count": count,
+            "sum": total,
+            "mean": (total / count) if count else 0.0,
+            "min": vmin if vmin is not None else 0.0,
+            "max": vmax if vmax is not None else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """A named collection of instruments, one per runtime or replica group.
+
+    ``counter``/``histogram`` are get-or-create and may be called from any
+    thread; repeated calls with the same name return the same instrument
+    (creation kwargs only apply on first creation).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name)
+            return c
+
+    def histogram(self, name: str, **kwargs: Any) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(name, **kwargs)
+            return h
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Aggregate *other*'s instruments into this registry (per name)."""
+        with other._lock:
+            counters = list(other._counters.values())
+            histograms = list(other._histograms.values())
+        for c in counters:
+            self.counter(c.name).merge(c)
+        for h in histograms:
+            mine = self.histogram(
+                h.name,
+                lo=h._bounds[0],
+                factor=h._bounds[1] / h._bounds[0] if len(h._bounds) > 1 else 2.0,
+                n_buckets=len(h._bounds),
+            )
+            mine.merge(h)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data image of every instrument (what tests/CLI consume)."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: c.snapshot() for n, c in sorted(counters.items())},
+            "histograms": {n: h.snapshot() for n, h in sorted(histograms.items())},
+        }
+
+
+def format_snapshot(snap: dict[str, Any]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` for terminals."""
+    lines: list[str] = []
+    counters = snap.get("counters", {})
+    histograms = snap.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name:<24} {value}")
+    if histograms:
+        lines.append("histograms:")
+        for name, h in histograms.items():
+            if not h["count"]:
+                lines.append(f"  {name:<24} (empty)")
+                continue
+            lines.append(
+                f"  {name:<24} n={h['count']} mean={h['mean']:.6f} "
+                f"p50={h['p50']:.6f} p95={h['p95']:.6f} p99={h['p99']:.6f} "
+                f"max={h['max']:.6f}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -2,16 +2,22 @@
 
 The simulated cluster (:mod:`repro.consul`) gives deterministic virtual
 time; these backends give actual concurrency on one machine, with the same
-:class:`~repro.core.runtime.BaseRuntime` API:
+:class:`~repro.core.runtime.BaseRuntime` API.  Both are thin adapters over
+the shared replication core (:mod:`repro.replication`): a
+:class:`~repro.replication.group.ReplicaGroup` owns sequencing (with
+command batching), completion dedup, in-band queries and metrics, and a
+:class:`~repro.replication.transport.Transport` moves the ordered stream:
 
 - :class:`~repro.parallel.threaded.ThreadedReplicaRuntime` — N replica
   state machines, each applied by its own thread, fed by an in-memory
-  totally ordered broadcast bus.  Crash a replica and the others carry
-  on; fingerprints verify convergence under real thread interleavings.
+  FIFO transport.  Crash a replica and the others carry on; fingerprints
+  verify convergence under real thread interleavings.
 - :class:`~repro.parallel.multiproc.MultiprocessRuntime` — replicas in
-  separate OS processes connected by queues; commands are pickled exactly
-  as they would be marshalled onto a network.  This is the
-  network-of-workstations substitute for running real parallel examples.
+  separate OS processes connected by pickling queues; ordered batches are
+  marshalled once and shipped to every replica, exactly as they would be
+  onto a network.  This is the network-of-workstations substitute for
+  running real parallel examples, and supports SIGKILL crash injection
+  plus snapshot-based replica recovery.
 """
 
 from repro.parallel.multiproc import MultiprocessRuntime

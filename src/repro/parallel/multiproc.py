@@ -1,200 +1,65 @@
 """Multiprocessing replica group: FT-Linda across OS processes.
 
 The closest single-machine stand-in for the paper's network of
-workstations (and the reproduction band's suggested vehicle): each replica
-is a separate Python **process** with its own state machine; commands are
-pickled onto per-replica queues — the same marshalling they would get on a
-wire — in a total order fixed by the parent's sequencer lock; results
-come back on a shared queue.
+workstations: each replica is a separate Python **process** with its own
+state machine, driven by the shared :class:`~repro.replication.group.
+ReplicaGroup` core over a :class:`~repro.replication.transport.
+PickleQueueTransport` — commands get the same marshalling they would get
+on a wire, and the sequencer pickles each ordered batch exactly once and
+ships the blob to every replica (the batching optimization this backend
+benefits from most).
 
-Every replica reports completions and the parent deduplicates, so a
-terminated replica can never strand a client.  Replicas start via the
-``spawn`` method by default: the parent is multi-threaded (clients,
-collector), and forking a multi-threaded process can capture another
-thread's held queue lock in the child — a deadlock we observed under
-full-suite load before switching.  Queries (fingerprints,
-space sizes) travel in-band on the command FIFOs, so they see exactly the
-state after every previously sequenced command — no separate quiescing
-protocol is needed.
+Queries (fingerprints, space sizes) travel in-band on the command FIFOs,
+so they see exactly the state after every previously sequenced command —
+no separate quiescing protocol is needed.  Crash injection SIGKILLs a
+replica process; recovery spawns a fresh one and installs a snapshot
+captured from a live donor at a frozen point in the total order.
 
 Use as a context manager (or call :meth:`MultiprocessRuntime.shutdown`)
 to reap the replica processes::
 
     with MultiprocessRuntime(n_replicas=3) as rt:
         rt.out(rt.main_ts, "hello", 1)
+
+All sequencer/dedup/recovery logic lives in the shared replication core;
+this file only binds the :class:`~repro.core.runtime.BaseRuntime` API to
+it.
 """
 
 from __future__ import annotations
 
-import itertools
-import multiprocessing as mp
-import threading
-from typing import Any, Callable
+from typing import Any
 
-from repro._errors import TimeoutError_
 from repro.core.ags import AGS, AGSResult
-from repro.core.runtime import BaseRuntime, ProcessHandle
+from repro.core.runtime import BaseRuntime
 from repro.core.spaces import Resilience, Scope, TSHandle
-from repro.core.statemachine import (
-    CancelRequest,
-    Command,
-    CreateSpace,
-    DestroySpace,
-    ExecuteAGS,
-    HostFailed,
-    TSStateMachine,
-)
+from repro.core.statemachine import CreateSpace, DestroySpace, ExecuteAGS
+from repro.obs.metrics import MetricsRegistry
+from repro.replication import PickleQueueTransport, ReplicaGroup
+from repro.replication.group import CLIENT_ORIGIN
 
 __all__ = ["MultiprocessRuntime"]
-
-_CLIENT_ORIGIN = -1
-
-
-def _replica_main(replica_id: int, cmd_q: Any, result_q: Any) -> None:
-    """Replica process body: apply commands in arrival (= total) order."""
-    sm = TSStateMachine()
-    applied = 0
-    while True:
-        item = cmd_q.get()
-        kind = item[0]
-        if kind == "STOP":
-            return
-        if kind == "CMD":
-            completions = sm.apply(item[1])
-            applied += 1
-            for c in completions:
-                result_q.put(("COMP", c.request_id, c.result))
-        elif kind == "INSTALL":
-            # recovery: replace our whole state with the shipped snapshot
-            sm = TSStateMachine.from_snapshot(item[1])
-            applied = item[2]
-            result_q.put(("QUERY", item[3], replica_id, "installed"))
-        elif kind == "SNAPSHOT":
-            result_q.put(("QUERY", item[1], replica_id, (sm.snapshot(), applied)))
-        elif kind == "QUERY":
-            _k, qid, what, arg = item
-            if what == "fingerprint":
-                answer: Any = sm.fingerprint()
-            elif what == "space_size":
-                answer = len(sm.registry.store(arg))
-            elif what == "space_tuples":
-                answer = [t.fields for t in sm.registry.store(arg).to_list()]
-            elif what == "applied":
-                answer = applied
-            elif what == "blocked":
-                answer = len(sm.blocked)
-            else:
-                answer = None
-            result_q.put(("QUERY", qid, replica_id, answer))
 
 
 class MultiprocessRuntime(BaseRuntime):
     """FT-Linda over N replica processes (see module docstring)."""
 
-    def __init__(self, n_replicas: int = 3, *, start_method: str = "spawn"):
-        if n_replicas < 1:
-            raise ValueError("need at least one replica")
-        self._start_method = start_method
-        ctx = mp.get_context(start_method)
-        self._req_ids = itertools.count(1)
-        self._qids = itertools.count(1)
-        self._proc_ids = itertools.count(1)
-        self._bus_lock = threading.Lock()
-        self._waiters: dict[int, tuple[threading.Event, list]] = {}
-        self._queries: dict[tuple[int, int], tuple[threading.Event, list]] = {}
-        self._state_lock = threading.Lock()
-        # one result queue PER replica: a replica SIGKILLed mid-put can
-        # corrupt its queue's pipe, and with a shared queue that would
-        # silently strand every other replica's completions
-        self.result_qs = [ctx.Queue() for _ in range(n_replicas)]
-        self.cmd_queues = [ctx.Queue() for _ in range(n_replicas)]
-        self.alive = [True] * n_replicas
-        self.processes = [
-            ctx.Process(
-                target=_replica_main,
-                args=(i, self.cmd_queues[i], self.result_qs[i]),
-                daemon=True,
-            )
-            for i in range(n_replicas)
-        ]
-        for p in self.processes:
-            p.start()
-        self._running = True
-        self._collectors = [
-            threading.Thread(
-                target=self._collect, args=(i,), name=f"mp-collector-{i}",
-                daemon=True,
-            )
-            for i in range(n_replicas)
-        ]
-        for t in self._collectors:
-            t.start()
-        self._procs: list[ProcessHandle] = []
-
-    # ------------------------------------------------------------------ #
-    # plumbing
-    # ------------------------------------------------------------------ #
-
-    def _collect(self, replica_id: int) -> None:
-        while self._running and self.alive[replica_id]:
-            q = self.result_qs[replica_id]
-            try:
-                item = q.get(timeout=0.2)
-            except Exception:
-                continue
-            if item[0] == "COMP":
-                _k, rid, result = item
-                with self._state_lock:
-                    waiter = self._waiters.pop(rid, None)
-                if waiter is not None:
-                    event, slot = waiter
-                    slot.append(result)
-                    event.set()
-            elif item[0] == "QUERY":
-                _k, qid, answering_replica, answer = item
-                with self._state_lock:
-                    waiter = self._queries.pop((qid, answering_replica), None)
-                if waiter is not None:
-                    event, slot = waiter
-                    slot.append(answer)
-                    event.set()
-
-    def _broadcast(self, cmd: Command) -> None:
-        with self._bus_lock:
-            for i, q in enumerate(self.cmd_queues):
-                if self.alive[i]:
-                    q.put(("CMD", cmd))
-
-    def _call(self, cmd: Command, timeout: float | None = None) -> Any:
-        event = threading.Event()
-        slot: list = []
-        with self._state_lock:
-            self._waiters[cmd.request_id] = (event, slot)
-        self._broadcast(cmd)
-        if event.wait(timeout):
-            return slot[0]
-        self._broadcast(
-            CancelRequest(next(self._req_ids), _CLIENT_ORIGIN, cmd.request_id)
+    def __init__(
+        self,
+        n_replicas: int = 3,
+        *,
+        start_method: str = "spawn",
+        batching: bool = True,
+    ):
+        super().__init__()
+        self.group = ReplicaGroup(
+            PickleQueueTransport(n_replicas, start_method=start_method),
+            batching=batching,
         )
-        if not event.wait(30.0):
-            raise TimeoutError_("replica group unresponsive")
-        result = slot[0]
-        if isinstance(result, AGSResult) and result.error == "cancelled":
-            raise TimeoutError_(f"guard not satisfied within {timeout}s")
-        return result
 
-    def query(self, replica_id: int, what: str, arg: Any = None, timeout: float = 30.0) -> Any:
-        """In-band query: answered after all previously sequenced commands."""
-        qid = next(self._qids)
-        event = threading.Event()
-        slot: list = []
-        with self._state_lock:
-            self._queries[(qid, replica_id)] = (event, slot)
-        with self._bus_lock:
-            self.cmd_queues[replica_id].put(("QUERY", qid, what, arg))
-        if not event.wait(timeout):
-            raise TimeoutError_(f"replica {replica_id} did not answer query")
-        return slot[0]
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.group.metrics
 
     # ------------------------------------------------------------------ #
     # BaseRuntime implementation
@@ -203,8 +68,10 @@ class MultiprocessRuntime(BaseRuntime):
     def _submit(
         self, ags: AGS, process_id: int, *, timeout: float | None = None
     ) -> AGSResult:
-        rid = next(self._req_ids)
-        return self._call(ExecuteAGS(rid, _CLIENT_ORIGIN, process_id, ags), timeout)
+        rid = self.group.next_request_id()
+        return self.group.call(
+            ExecuteAGS(rid, CLIENT_ORIGIN, process_id, ags), timeout
+        )
 
     def create_space(
         self,
@@ -213,152 +80,57 @@ class MultiprocessRuntime(BaseRuntime):
         scope: Scope = Scope.SHARED,
         owner: int | None = None,
     ) -> TSHandle:
-        rid = next(self._req_ids)
-        result = self._call(
-            CreateSpace(rid, _CLIENT_ORIGIN, name, resilience, scope, owner)
+        rid = self.group.next_request_id()
+        result = self.group.call(
+            CreateSpace(rid, CLIENT_ORIGIN, name, resilience, scope, owner)
         )
         if isinstance(result, Exception):
             raise result
         return result
 
     def destroy_space(self, handle: TSHandle) -> None:
-        rid = next(self._req_ids)
-        result = self._call(DestroySpace(rid, _CLIENT_ORIGIN, handle))
+        rid = self.group.next_request_id()
+        result = self.group.call(DestroySpace(rid, CLIENT_ORIGIN, handle))
         if isinstance(result, Exception):
             raise result
 
-    def eval_(
-        self, fn: Callable[..., Any], *args: Any, process_id: int | None = None
-    ) -> ProcessHandle:
-        pid = process_id if process_id is not None else next(self._proc_ids)
-        handle = ProcessHandle(pid)
-
-        def run() -> None:
-            try:
-                handle._result = fn(self.view(pid), *args)
-            except BaseException as exc:  # noqa: BLE001 - reported via join()
-                handle._error = exc
-
-        t = threading.Thread(target=run, name=f"linda-proc-{pid}", daemon=True)
-        handle._thread = t
-        self._procs.append(handle)
-        t.start()
-        return handle
-
     # ------------------------------------------------------------------ #
-    # failure injection / inspection
+    # failure injection / inspection (delegated to the replica group)
     # ------------------------------------------------------------------ #
+
+    def query(
+        self, replica_id: int, what: str, arg: Any = None, timeout: float = 30.0
+    ) -> Any:
+        """In-band query: answered after all previously sequenced commands."""
+        return self.group.query(replica_id, what, arg, timeout=timeout)
 
     def crash_replica(self, replica_id: int, *, notify: bool = True) -> None:
         """SIGKILL one replica process; the group continues without it."""
-        if not self.alive[replica_id]:
-            return
-        self.alive[replica_id] = False
-        self.processes[replica_id].kill()
-        self.processes[replica_id].join(timeout=10)
-        if notify and any(self.alive):
-            self._broadcast(
-                HostFailed(next(self._req_ids), _CLIENT_ORIGIN, replica_id)
-            )
+        self.group.crash_replica(replica_id, notify=notify)
 
     def inject_failure(self, host_id: int) -> None:
         """Deposit a failure tuple for a *logical* host (worker) id."""
-        self._broadcast(HostFailed(next(self._req_ids), _CLIENT_ORIGIN, host_id))
+        self.group.inject_failure(host_id)
 
     def recover_replica(self, replica_id: int, *, timeout: float = 30.0) -> None:
-        """Restart a killed replica process and transfer state into it.
-
-        The paper's recovery story across real OS processes: spawn a fresh
-        process, capture a snapshot from a live replica *at a quiet point
-        in the total order* (the bus lock is held, so no command can slip
-        between capture and readmission), install it, then resume
-        broadcasting to the newcomer.  A HostRecovered command deposits
-        the recovery tuple, as on the simulated cluster.
-        """
-        if self.alive[replica_id]:
-            return
-        ctx = mp.get_context(self._start_method)
-        with self._bus_lock:  # freeze the order: nothing sequenced past us
-            donor = next(
-                (i for i in range(len(self.processes)) if self.alive[i]), None
-            )
-            if donor is None:
-                raise TimeoutError_("no live replica to transfer state from")
-            # ask the donor for a snapshot; it answers after applying
-            # everything already in its FIFO (in-band request)
-            qid = next(self._qids)
-            event = threading.Event()
-            slot: list = []
-            with self._state_lock:
-                self._queries[(qid, donor)] = (event, slot)
-            self.cmd_queues[donor].put(("SNAPSHOT", qid))
-            if not event.wait(timeout):
-                raise TimeoutError_("donor replica did not produce a snapshot")
-            snapshot, applied = slot[0]
-            # fresh queues + process + collector for the newcomer (its old
-            # queues may be poisoned by the kill)
-            self.cmd_queues[replica_id] = ctx.Queue()
-            self.result_qs[replica_id] = ctx.Queue()
-            proc = ctx.Process(
-                target=_replica_main,
-                args=(replica_id, self.cmd_queues[replica_id],
-                      self.result_qs[replica_id]),
-                daemon=True,
-            )
-            proc.start()
-            self.processes[replica_id] = proc
-            qid2 = next(self._qids)
-            event2 = threading.Event()
-            slot2: list = []
-            with self._state_lock:
-                self._queries[(qid2, replica_id)] = (event2, slot2)
-            self.cmd_queues[replica_id].put(("INSTALL", snapshot, applied, qid2))
-            self.alive[replica_id] = True
-            collector = threading.Thread(
-                target=self._collect, args=(replica_id,),
-                name=f"mp-collector-{replica_id}", daemon=True,
-            )
-            self._collectors.append(collector)
-            collector.start()
-        if not event2.wait(timeout):
-            raise TimeoutError_("recovered replica did not confirm install")
-        from repro.core.statemachine import HostRecovered
-
-        self._broadcast(HostRecovered(next(self._req_ids), _CLIENT_ORIGIN, replica_id))
+        """Restart a killed replica process and transfer state into it."""
+        self.group.recover_replica(replica_id, timeout=timeout)
 
     def fingerprints(self) -> list[int]:
-        return [
-            self.query(i, "fingerprint")
-            for i in range(len(self.processes))
-            if self.alive[i]
-        ]
+        return self.group.fingerprints()
 
     def converged(self) -> bool:
-        return len(set(self.fingerprints())) <= 1
+        return self.group.converged()
 
     def space_size(self, handle: TSHandle) -> int:
-        for i in range(len(self.processes)):
-            if self.alive[i]:
-                return self.query(i, "space_size", handle)
-        raise TimeoutError_("all replicas have crashed")
+        return self.group.space_size(handle)
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
 
     def shutdown(self) -> None:
-        if not self._running:
-            return
-        self._running = False
-        for i, q in enumerate(self.cmd_queues):
-            if self.alive[i]:
-                q.put(("STOP",))
-        for p in self.processes:
-            p.join(timeout=5)
-            if p.is_alive():
-                p.kill()
-        for t in self._collectors:
-            t.join(timeout=5)
+        self.group.shutdown()
 
     def __enter__(self) -> "MultiprocessRuntime":
         return self

@@ -1,15 +1,10 @@
 """Threaded replica group: state-machine replication with real threads.
 
-Architecture (one process, many threads):
-
-- a **bus**: commands are sequenced under a lock — acquiring the lock *is*
-  the atomic multicast's total order — and appended to every live
-  replica's FIFO;
-- N **replica threads**, each looping ``pop → apply`` on its own
-  :class:`~repro.core.statemachine.TSStateMachine`;
-- clients are ordinary threads (``eval_`` spawns them); each submission
-  parks on an event until the **origin replica** (replica 0, or the oldest
-  live one) reports the completion.
+Architecture (one process, many threads): a shared
+:class:`~repro.replication.group.ReplicaGroup` sequences commands — with
+batching — over an :class:`~repro.replication.transport.InMemoryTransport`
+(one FIFO + applier thread per replica); clients are ordinary threads
+(``eval_`` spawns them) that park until the group reports a completion.
 
 Because replicas really do race on their own schedules, this backend
 exercises the determinism contract with genuine interleavings — the
@@ -18,128 +13,37 @@ single-threaded tests cannot.
 
 Crash injection: :meth:`ThreadedReplicaRuntime.crash_replica` halts one
 replica mid-stream (its FIFO is dropped on the floor), deposits the
-failure tuple via a :class:`~repro.core.statemachine.HostFailed` command,
-and the group continues — N-1 replicas hold the stable spaces.
+failure tuple via an ordered ``HostFailed`` command, and the group
+continues — N-1 replicas hold the stable spaces.
+
+All sequencing, completion dedup and query logic lives in the shared
+replication core; this file only binds the :class:`~repro.core.runtime.
+BaseRuntime` API to it.
 """
 
 from __future__ import annotations
 
-import itertools
-import queue
-import threading
-from typing import Any, Callable
-
-from repro._errors import TimeoutError_
 from repro.core.ags import AGS, AGSResult
-from repro.core.runtime import BaseRuntime, ProcessHandle
+from repro.core.runtime import BaseRuntime
 from repro.core.spaces import Resilience, Scope, TSHandle
-from repro.core.statemachine import (
-    CancelRequest,
-    Command,
-    CreateSpace,
-    DestroySpace,
-    ExecuteAGS,
-    HostFailed,
-    TSStateMachine,
-)
+from repro.core.statemachine import CreateSpace, DestroySpace, ExecuteAGS
+from repro.obs.metrics import MetricsRegistry
+from repro.replication import InMemoryTransport, ReplicaGroup
+from repro.replication.group import CLIENT_ORIGIN
 
 __all__ = ["ThreadedReplicaRuntime"]
-
-_CLIENT_ORIGIN = -1
-
-
-class _Replica:
-    """One replica: a state machine plus its applier thread."""
-
-    def __init__(self, replica_id: int, runtime: "ThreadedReplicaRuntime"):
-        self.id = replica_id
-        self.runtime = runtime
-        self.sm = TSStateMachine()
-        self.fifo: "queue.Queue[Command | None]" = queue.Queue()
-        self.alive = True
-        self.applied = 0
-        self.thread = threading.Thread(
-            target=self._loop, name=f"replica-{replica_id}", daemon=True
-        )
-        self.thread.start()
-
-    def _loop(self) -> None:
-        while True:
-            cmd = self.fifo.get()
-            if cmd is None or not self.alive:
-                return
-            completions = self.sm.apply(cmd)
-            self.applied += 1
-            # every replica reports; the waiter map pops exactly once, so
-            # duplicates are free and a crashed replica can never strand a
-            # client waiting on a completion it alone knew about
-            self.runtime._deliver_completions(completions)
-
-    def stop(self) -> None:
-        self.alive = False
-        self.fifo.put(None)
 
 
 class ThreadedReplicaRuntime(BaseRuntime):
     """FT-Linda over N threaded replicas (see module docstring)."""
 
-    def __init__(self, n_replicas: int = 3):
-        if n_replicas < 1:
-            raise ValueError("need at least one replica")
-        self._bus_lock = threading.Lock()
-        self._req_ids = itertools.count(1)
-        self._proc_ids = itertools.count(1)
-        self._waiters: dict[int, tuple[threading.Event, list]] = {}
-        self._waiters_lock = threading.Lock()
-        self._bcast_count = 0
-        self.replicas = [_Replica(i, self) for i in range(n_replicas)]
-        self._procs: list[ProcessHandle] = []
+    def __init__(self, n_replicas: int = 3, *, batching: bool = True):
+        super().__init__()
+        self.group = ReplicaGroup(InMemoryTransport(n_replicas), batching=batching)
 
-    # ------------------------------------------------------------------ #
-    # the bus (total order by lock acquisition)
-    # ------------------------------------------------------------------ #
-
-    def _origin_replica(self) -> _Replica:
-        """The replica that reports completions: oldest live one."""
-        for r in self.replicas:
-            if r.alive:
-                return r
-        raise TimeoutError_("all replicas have crashed")
-
-    def _broadcast(self, cmd: Command) -> None:
-        with self._bus_lock:
-            self._bcast_count += 1
-            for r in self.replicas:
-                if r.alive:
-                    r.fifo.put(cmd)
-
-    def _deliver_completions(self, completions: list) -> None:
-        for c in completions:
-            with self._waiters_lock:
-                waiter = self._waiters.pop(c.request_id, None)
-            if waiter is not None:
-                event, slot = waiter
-                slot.append(c.result)
-                event.set()
-
-    def _call(self, cmd: Command, timeout: float | None = None) -> Any:
-        event = threading.Event()
-        slot: list = []
-        with self._waiters_lock:
-            self._waiters[cmd.request_id] = (event, slot)
-        self._broadcast(cmd)
-        if event.wait(timeout):
-            return slot[0]
-        # timed out: cancel through the total order, then take whichever
-        # outcome won the race (completion vs cancellation)
-        self._broadcast(
-            CancelRequest(next(self._req_ids), _CLIENT_ORIGIN, cmd.request_id)
-        )
-        event.wait()
-        result = slot[0]
-        if isinstance(result, AGSResult) and result.error == "cancelled":
-            raise TimeoutError_(f"guard not satisfied within {timeout}s")
-        return result
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.group.metrics
 
     # ------------------------------------------------------------------ #
     # BaseRuntime implementation
@@ -148,9 +52,9 @@ class ThreadedReplicaRuntime(BaseRuntime):
     def _submit(
         self, ags: AGS, process_id: int, *, timeout: float | None = None
     ) -> AGSResult:
-        rid = next(self._req_ids)
-        return self._call(
-            ExecuteAGS(rid, _CLIENT_ORIGIN, process_id, ags), timeout
+        rid = self.group.next_request_id()
+        return self.group.call(
+            ExecuteAGS(rid, CLIENT_ORIGIN, process_id, ags), timeout
         )
 
     def create_space(
@@ -160,78 +64,45 @@ class ThreadedReplicaRuntime(BaseRuntime):
         scope: Scope = Scope.SHARED,
         owner: int | None = None,
     ) -> TSHandle:
-        rid = next(self._req_ids)
-        result = self._call(
-            CreateSpace(rid, _CLIENT_ORIGIN, name, resilience, scope, owner)
+        rid = self.group.next_request_id()
+        result = self.group.call(
+            CreateSpace(rid, CLIENT_ORIGIN, name, resilience, scope, owner)
         )
         if isinstance(result, Exception):
             raise result
         return result
 
     def destroy_space(self, handle: TSHandle) -> None:
-        rid = next(self._req_ids)
-        result = self._call(DestroySpace(rid, _CLIENT_ORIGIN, handle))
+        rid = self.group.next_request_id()
+        result = self.group.call(DestroySpace(rid, CLIENT_ORIGIN, handle))
         if isinstance(result, Exception):
             raise result
 
-    def eval_(
-        self, fn: Callable[..., Any], *args: Any, process_id: int | None = None
-    ) -> ProcessHandle:
-        pid = process_id if process_id is not None else next(self._proc_ids)
-        handle = ProcessHandle(pid)
-
-        def run() -> None:
-            try:
-                handle._result = fn(self.view(pid), *args)
-            except BaseException as exc:  # noqa: BLE001 - reported via join()
-                handle._error = exc
-
-        t = threading.Thread(target=run, name=f"linda-proc-{pid}", daemon=True)
-        handle._thread = t
-        self._procs.append(handle)
-        t.start()
-        return handle
-
     # ------------------------------------------------------------------ #
-    # failure injection / inspection
+    # failure injection / inspection (delegated to the replica group)
     # ------------------------------------------------------------------ #
 
     def crash_replica(self, replica_id: int, *, notify: bool = True) -> None:
         """Halt one replica; optionally deposit its failure tuple."""
-        self.replicas[replica_id].stop()
-        if notify and any(r.alive for r in self.replicas):
-            self._broadcast(
-                HostFailed(next(self._req_ids), _CLIENT_ORIGIN, replica_id)
-            )
+        self.group.crash_replica(replica_id, notify=notify)
 
     def inject_failure(self, host_id: int) -> None:
         """Deposit a failure tuple for a *logical* host (worker) id."""
-        self._broadcast(HostFailed(next(self._req_ids), _CLIENT_ORIGIN, host_id))
+        self.group.inject_failure(host_id)
 
-    def quiesce(self, timeout: float = 10.0) -> None:
+    def quiesce(self, timeout: float = 30.0) -> None:
         """Wait until every live replica has applied every broadcast."""
-        import time
-
-        target = self._bcast_count
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            if all(r.applied >= target for r in self.replicas if r.alive):
-                return
-            time.sleep(0.002)
-        raise TimeoutError_("replicas did not quiesce in time")
+        self.group.quiesce(timeout=timeout)
 
     def fingerprints(self) -> list[int]:
-        """Stable-state fingerprints of all live replicas (after quiesce)."""
-        self.quiesce()
-        return [r.sm.fingerprint() for r in self.replicas if r.alive]
+        """Stable-state fingerprints of all live replicas."""
+        return self.group.fingerprints()
 
     def converged(self) -> bool:
-        return len(set(self.fingerprints())) <= 1
+        return self.group.converged()
 
     def space_size(self, handle: TSHandle) -> int:
-        self.quiesce()
-        return len(self._origin_replica().sm.registry.store(handle))
+        return self.group.space_size(handle)
 
     def shutdown(self) -> None:
-        for r in self.replicas:
-            r.stop()
+        self.group.shutdown()

@@ -1,0 +1,34 @@
+"""The paper's ordered-update pipeline, implemented exactly once.
+
+FT-Linda keeps replicated tuple spaces consistent with a single totally
+ordered command stream per update (Sec. 5).  This package is that
+pipeline, factored out of any particular delivery mechanism:
+
+- :class:`~repro.replication.group.ReplicaGroup` — the transport-agnostic
+  core: command sequencing (with batching), per-client parking,
+  origin-replica completion matching with duplicate suppression,
+  crash/recovery bookkeeping, in-band queries, and runtime metrics;
+- :class:`~repro.replication.transport.Transport` — the seam a delivery
+  mechanism implements: FIFO delivery of opaque items to N replica
+  workers and a sink for what they emit;
+- :mod:`~repro.replication.worker` — the one replica apply loop both
+  bundled transports run (in a thread, or in a spawned process).
+
+The threads and multiprocessing backends in :mod:`repro.parallel` are
+thin adapters over this package; a future asyncio or socket backend is
+one new Transport implementation.
+"""
+
+from repro.replication.group import ReplicaGroup
+from repro.replication.transport import (
+    InMemoryTransport,
+    PickleQueueTransport,
+    Transport,
+)
+
+__all__ = [
+    "InMemoryTransport",
+    "PickleQueueTransport",
+    "ReplicaGroup",
+    "Transport",
+]

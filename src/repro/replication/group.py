@@ -1,0 +1,349 @@
+"""ReplicaGroup: the transport-agnostic replication core.
+
+One object owns everything the paper's ordered-update pipeline needs
+(Sec. 5), independent of how items reach the replicas:
+
+- **sequencing** — acquiring the sequencer lock *is* the atomic
+  multicast's total order.  With batching enabled (the default)
+  submitters only append to a pending queue; a dedicated sequencer
+  thread drains the whole queue under the lock and ships it as ONE
+  ordered batch.  While the sequencer is marshalling and broadcasting a
+  batch, clients keep piling onto the queue — so load makes batches
+  bigger exactly when amortizing pickling and queue wakeups matters
+  most.  In-band operations (queries, recovery) flush the pending queue
+  themselves under the same lock, so "sequenced after everything
+  submitted before me" still holds;
+- **parking and completion matching** — each submission waits on an
+  event; every replica reports completions and the waiter map pops
+  exactly once, so duplicates are free and a crashed replica can never
+  strand a client on a completion it alone knew about;
+- **in-band queries** — fingerprints, space sizes and snapshots travel on
+  the command FIFOs, so they observe exactly the state after every
+  previously sequenced command (no separate quiescing protocol);
+- **crash/recovery bookkeeping** — the alive mask, the ordered
+  ``HostFailed``/``HostRecovered`` notifications, and the snapshot-based
+  state transfer for transports that support restart;
+- **metrics** — submit→order, order→apply and end-to-end AGS latency
+  histograms plus submission/batch counters, recorded in one place so
+  every backend reports identical instruments.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any
+
+from repro._errors import TimeoutError_
+from repro.core.ags import AGSResult
+from repro.core.spaces import TSHandle
+from repro.core.statemachine import (
+    CancelRequest,
+    Command,
+    HostFailed,
+    HostRecovered,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.replication.transport import Transport
+
+__all__ = ["ReplicaGroup"]
+
+#: Origin-host id the group stamps on client commands.  Reserved: failure
+#: injection uses non-negative *logical* host ids, and HostFailed drops
+#: blocked statements whose origin matches — client statements must never.
+CLIENT_ORIGIN = -1
+
+#: How long a cancelled statement may take to report back before the whole
+#: group is declared unresponsive.
+_CANCEL_GRACE_S = 30.0
+
+
+class _Waiter:
+    """One parked client submission and its latency timestamps."""
+
+    __slots__ = ("event", "slot", "t_submit", "t_ordered")
+
+    def __init__(self, t_submit: float):
+        self.event = threading.Event()
+        self.slot: list[Any] = []
+        self.t_submit = t_submit
+        self.t_ordered: float | None = None
+
+
+class ReplicaGroup:
+    """Sequencing, parking, dedup, queries and metrics over a Transport."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        *,
+        batching: bool = True,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.transport = transport
+        self.n_replicas = transport.n_replicas
+        self.batching = batching
+        self.alive = [True] * self.n_replicas
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._req_ids = itertools.count(1)
+        self._qids = itertools.count(1)
+        self._seq_lock = threading.Lock()  # holding this IS the total order
+        self._pending: deque[tuple[Command, _Waiter | None]] = deque()
+        self._pending_lock = threading.Lock()
+        self._state_lock = threading.Lock()  # waiters + queries
+        self._waiters: dict[int, _Waiter] = {}
+        self._queries: dict[tuple[int, int], tuple[threading.Event, list]] = {}
+        self._h_submit = self.metrics.histogram("submit_to_order")
+        self._h_apply = self.metrics.histogram("order_to_apply")
+        self._h_e2e = self.metrics.histogram("ags_e2e")
+        self._h_batch = self.metrics.histogram("batch_size", lo=1.0, n_buckets=12)
+        self._c_cmds = self.metrics.counter("commands_submitted")
+        self._c_batches = self.metrics.counter("batches_shipped")
+        self._stopped = False
+        transport.start(self._on_worker_item)
+        self._kick = threading.Event()
+        self._seq_thread: threading.Thread | None = None
+        if batching:
+            self._seq_thread = threading.Thread(
+                target=self._sequencer_loop, name="sequencer", daemon=True
+            )
+            self._seq_thread.start()
+
+    # ------------------------------------------------------------------ #
+    # sequencing (the bus)
+    # ------------------------------------------------------------------ #
+
+    def next_request_id(self) -> int:
+        return next(self._req_ids)
+
+    def call(self, cmd: Command, timeout: float | None = None) -> Any:
+        """Sequence *cmd*, park until its completion, return the result.
+
+        On timeout the statement is withdrawn *through the total order*
+        (a :class:`CancelRequest`), then whichever outcome won the race —
+        completion or cancellation — is taken, so a timed-out ``in`` can
+        never consume a tuple it did not report.
+        """
+        w = _Waiter(time.monotonic())
+        with self._state_lock:
+            self._waiters[cmd.request_id] = w
+        self._c_cmds.inc()
+        self._ship(cmd, w)
+        if w.event.wait(timeout):
+            return w.slot[0]
+        self.post(CancelRequest(self.next_request_id(), CLIENT_ORIGIN, cmd.request_id))
+        if not w.event.wait(_CANCEL_GRACE_S):
+            raise TimeoutError_("replica group unresponsive")
+        result = w.slot[0]
+        if isinstance(result, AGSResult) and result.error == "cancelled":
+            raise TimeoutError_(f"guard not satisfied within {timeout}s")
+        return result
+
+    def post(self, cmd: Command) -> None:
+        """Sequence *cmd* without waiting for any completion."""
+        self._ship(cmd, None)
+
+    def _ship(self, cmd: Command, w: _Waiter | None) -> None:
+        if not self.batching:
+            with self._seq_lock:
+                self._broadcast_batch([(cmd, w)])
+            return
+        with self._pending_lock:
+            self._pending.append((cmd, w))
+        self._kick.set()
+
+    def _flush_pending_locked(self) -> bool:
+        """Ship everything pending as one batch.  Caller holds _seq_lock.
+
+        Commands leave the pending queue only under the sequencer lock, so
+        anything not yet broadcast is still visible here — which is what
+        lets queries and recovery flush-then-send to stay in-band.
+        """
+        with self._pending_lock:
+            if not self._pending:
+                return False
+            batch = list(self._pending)
+            self._pending.clear()
+        self._broadcast_batch(batch)
+        return True
+
+    def _sequencer_loop(self) -> None:
+        """Drain the pending queue into ordered batches until shutdown.
+
+        A dedicated thread rather than drain-on-submit: while it is
+        marshalling one batch, every concurrently submitting client simply
+        appends — so the next batch is as large as the current one was
+        slow, and per-command marshalling cost amortizes under load.
+        """
+        while True:
+            self._kick.wait()
+            self._kick.clear()
+            while True:
+                with self._seq_lock:
+                    if not self._flush_pending_locked():
+                        break
+            if self._stopped:
+                with self._seq_lock:
+                    self._flush_pending_locked()
+                return
+
+    def _broadcast_batch(self, batch: list[tuple[Command, _Waiter | None]]) -> None:
+        now = time.monotonic()
+        cmds = []
+        for cmd, w in batch:
+            cmds.append(cmd)
+            if w is not None:
+                w.t_ordered = now
+                self._h_submit.record(now - w.t_submit)
+        self._c_batches.inc()
+        self._h_batch.record(len(batch))
+        self.transport.broadcast(("BATCH", cmds), self.alive)
+
+    # ------------------------------------------------------------------ #
+    # worker emissions (completions + query answers)
+    # ------------------------------------------------------------------ #
+
+    def _on_worker_item(self, replica_id: int, item: tuple) -> None:
+        kind = item[0]
+        if kind == "COMP":
+            _k, rid, result = item
+            with self._state_lock:
+                w = self._waiters.pop(rid, None)
+            if w is not None:
+                now = time.monotonic()
+                if w.t_ordered is not None:
+                    self._h_apply.record(now - w.t_ordered)
+                self._h_e2e.record(now - w.t_submit)
+                w.slot.append(result)
+                w.event.set()
+        elif kind == "QUERY":
+            _k, qid, answering_replica, answer = item
+            with self._state_lock:
+                waiter = self._queries.pop((qid, answering_replica), None)
+            if waiter is not None:
+                event, slot = waiter
+                slot.append(answer)
+                event.set()
+
+    # ------------------------------------------------------------------ #
+    # in-band queries
+    # ------------------------------------------------------------------ #
+
+    def _register_query(
+        self, replica_id: int
+    ) -> tuple[int, threading.Event, list]:
+        qid = next(self._qids)
+        event = threading.Event()
+        slot: list = []
+        with self._state_lock:
+            self._queries[(qid, replica_id)] = (event, slot)
+        return qid, event, slot
+
+    def query(
+        self, replica_id: int, what: str, arg: Any = None, timeout: float = 30.0
+    ) -> Any:
+        """In-band query: answered after all previously sequenced commands."""
+        qid, event, slot = self._register_query(replica_id)
+        with self._seq_lock:  # serialize against broadcasts: stay in-band
+            self._flush_pending_locked()
+            self.transport.send(replica_id, ("QUERY", qid, what, arg))
+        if not event.wait(timeout):
+            raise TimeoutError_(f"replica {replica_id} did not answer query")
+        return slot[0]
+
+    # ------------------------------------------------------------------ #
+    # membership: crash, failure notification, recovery
+    # ------------------------------------------------------------------ #
+
+    def live_replicas(self) -> list[int]:
+        return [i for i in range(self.n_replicas) if self.alive[i]]
+
+    def crash_replica(self, replica_id: int, *, notify: bool = True) -> None:
+        """Halt one replica mid-stream; optionally deposit its failure tuple."""
+        if not self.alive[replica_id]:
+            return
+        self.alive[replica_id] = False
+        self.transport.stop_replica(replica_id)
+        if notify and any(self.alive):
+            self.post(HostFailed(self.next_request_id(), CLIENT_ORIGIN, replica_id))
+
+    def inject_failure(self, host_id: int) -> None:
+        """Deposit a failure tuple for a *logical* host (worker) id."""
+        self.post(HostFailed(self.next_request_id(), CLIENT_ORIGIN, host_id))
+
+    def recover_replica(self, replica_id: int, *, timeout: float = 30.0) -> None:
+        """Restart a crashed replica and transfer state into it.
+
+        The snapshot is captured from a live donor *at a quiet point in
+        the total order* — the sequencer lock is held, so no command can
+        slip between capture and readmission.  A ``HostRecovered`` command
+        then deposits the recovery tuple, as on the simulated cluster.
+        """
+        if self.alive[replica_id]:
+            return
+        if not self.transport.supports_recovery:
+            raise TimeoutError_(
+                f"{type(self.transport).__name__} does not support replica restart"
+            )
+        with self._seq_lock:  # freeze the order: nothing sequenced past us
+            self._flush_pending_locked()
+            donor = next(iter(self.live_replicas()), None)
+            if donor is None:
+                raise TimeoutError_("no live replica to transfer state from")
+            qid, event, slot = self._register_query(donor)
+            self.transport.send(donor, ("SNAPSHOT", qid))
+            if not event.wait(timeout):
+                raise TimeoutError_("donor replica did not produce a snapshot")
+            snapshot, applied = slot[0]
+            self.transport.restart_replica(replica_id)
+            qid2, event2, slot2 = self._register_query(replica_id)
+            self.transport.send(
+                replica_id, ("INSTALL", qid2, snapshot, applied)
+            )
+            self.alive[replica_id] = True
+        if not event2.wait(timeout):
+            raise TimeoutError_("recovered replica did not confirm install")
+        self.post(HostRecovered(self.next_request_id(), CLIENT_ORIGIN, replica_id))
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+
+    def quiesce(self, timeout: float = 30.0) -> None:
+        """Return once every live replica has applied every sequenced command.
+
+        Implemented as an in-band no-op query per replica: the answer can
+        only arrive after everything ahead of it on the FIFO has applied.
+        """
+        for i in self.live_replicas():
+            self.query(i, "applied", timeout=timeout)
+
+    def fingerprints(self) -> list[int]:
+        """Stable-state fingerprints of all live replicas."""
+        return [self.query(i, "fingerprint") for i in self.live_replicas()]
+
+    def converged(self) -> bool:
+        return len(set(self.fingerprints())) <= 1
+
+    def space_size(self, handle: TSHandle) -> int:
+        for i in self.live_replicas():
+            return self.query(i, "space_size", handle)
+        raise TimeoutError_("all replicas have crashed")
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        return self.metrics.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def shutdown(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._seq_thread is not None:
+            self._kick.set()
+            self._seq_thread.join(timeout=5.0)
+        self.transport.shutdown(self.alive)

@@ -1,0 +1,243 @@
+"""Transports: how ordered items reach replica workers.
+
+A :class:`Transport` is the only thing a new backend has to provide.  It
+moves opaque *items* (see :mod:`repro.replication.worker` for the item
+protocol) to N replica workers — preserving, per replica, the order in
+which the sequencer handed them over — and funnels whatever the workers
+emit back into a single sink callable.  Everything stateful about
+replication (sequencing, parking, dedup, membership bookkeeping) lives in
+:class:`~repro.replication.group.ReplicaGroup`, NOT here; a transport is
+pure plumbing.
+
+Two implementations ship with the library:
+
+- :class:`InMemoryTransport` — one FIFO + applier thread per replica, the
+  substrate of :class:`~repro.parallel.threaded.ThreadedReplicaRuntime`;
+- :class:`PickleQueueTransport` — one spawned OS process per replica with
+  pickling queues (the same marshalling commands would get on a wire),
+  the substrate of :class:`~repro.parallel.multiproc.MultiprocessRuntime`.
+  Its ``broadcast`` pickles a batch ONCE and ships the blob to every
+  replica, instead of letting each queue re-marshal the same commands —
+  the amortization that makes batching measurably faster.
+
+A future asyncio or socket backend is a third class in this file (or a
+user module) and nothing else.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import queue
+import threading
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+from repro.replication.worker import replica_loop, run_replica_process
+
+__all__ = ["InMemoryTransport", "PickleQueueTransport", "Transport"]
+
+#: What a transport calls with every item a worker emits: (replica_id, item).
+Sink = Callable[[int, tuple], None]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """The seam between the ReplicaGroup core and a delivery mechanism."""
+
+    n_replicas: int
+    #: True when restart_replica / SNAPSHOT / INSTALL round-trips work.
+    supports_recovery: bool
+
+    def start(self, sink: Sink) -> None:
+        """Launch the replica workers; deliver their emissions to *sink*."""
+        ...
+
+    def send(self, replica_id: int, item: tuple) -> None:
+        """Enqueue one item on a single replica's FIFO (in-band)."""
+        ...
+
+    def broadcast(self, item: tuple, alive: Sequence[bool]) -> None:
+        """Enqueue *item* on every live replica's FIFO.
+
+        Called with the sequencer lock held: the order of broadcast calls
+        IS the total order, and the transport must preserve it per FIFO.
+        """
+        ...
+
+    def stop_replica(self, replica_id: int) -> None:
+        """Halt one replica mid-stream (crash injection)."""
+        ...
+
+    def restart_replica(self, replica_id: int) -> None:
+        """Replace a stopped replica with a fresh, empty worker."""
+        ...
+
+    def shutdown(self, alive: Sequence[bool]) -> None:
+        """Stop all workers and reap transport resources."""
+        ...
+
+
+class InMemoryTransport:
+    """Per-replica FIFO + daemon applier thread, all in one process."""
+
+    supports_recovery = False
+
+    def __init__(self, n_replicas: int):
+        if n_replicas < 1:
+            raise ValueError("need at least one replica")
+        self.n_replicas = n_replicas
+        self._fifos: list["queue.Queue[tuple | None]"] = [
+            queue.Queue() for _ in range(n_replicas)
+        ]
+        self._halted = [threading.Event() for _ in range(n_replicas)]
+        self._threads: list[threading.Thread] = []
+
+    def start(self, sink: Sink) -> None:
+        for i in range(self.n_replicas):
+            t = threading.Thread(
+                target=replica_loop,
+                args=(
+                    i,
+                    self._fifos[i].get,
+                    lambda item, i=i: sink(i, item),
+                    self._halted[i].is_set,
+                ),
+                name=f"replica-{i}",
+                daemon=True,
+            )
+            self._threads.append(t)
+            t.start()
+
+    def send(self, replica_id: int, item: tuple) -> None:
+        self._fifos[replica_id].put(item)
+
+    def broadcast(self, item: tuple, alive: Sequence[bool]) -> None:
+        for i, fifo in enumerate(self._fifos):
+            if alive[i]:
+                fifo.put(item)
+
+    def stop_replica(self, replica_id: int) -> None:
+        # the halt flag drops anything still queued (mid-stream crash); the
+        # STOP sentinel wakes a worker blocked on an empty FIFO
+        self._halted[replica_id].set()
+        self._fifos[replica_id].put(("STOP",))
+
+    def restart_replica(self, replica_id: int) -> None:
+        raise NotImplementedError("in-memory transport has no replica restart")
+
+    def shutdown(self, alive: Sequence[bool]) -> None:
+        for i in range(self.n_replicas):
+            self.stop_replica(i)
+
+
+class PickleQueueTransport:
+    """One spawned OS process per replica, connected by pickling queues.
+
+    ``spawn`` is the default start method: the parent is multi-threaded
+    (clients, collectors), and forking a multi-threaded process can
+    capture another thread's held queue lock in the child — a deadlock
+    observed under full-suite load before switching.
+
+    One result queue PER replica: a replica SIGKILLed mid-``put`` can
+    corrupt its queue's pipe, and with a shared queue that would silently
+    strand every other replica's completions.
+    """
+
+    supports_recovery = True
+
+    def __init__(self, n_replicas: int, *, start_method: str = "spawn"):
+        if n_replicas < 1:
+            raise ValueError("need at least one replica")
+        self.n_replicas = n_replicas
+        self._ctx = mp.get_context(start_method)
+        self.cmd_queues = [self._ctx.Queue() for _ in range(n_replicas)]
+        self.result_qs = [self._ctx.Queue() for _ in range(n_replicas)]
+        self.processes: list[Any] = []
+        self._collectors: list[threading.Thread] = []
+        self._collecting = [True] * n_replicas
+        self._running = False
+        self._sink: Sink | None = None
+
+    def start(self, sink: Sink) -> None:
+        self._sink = sink
+        self._running = True
+        self.processes = [
+            self._ctx.Process(
+                target=run_replica_process,
+                args=(i, self.cmd_queues[i], self.result_qs[i]),
+                daemon=True,
+            )
+            for i in range(self.n_replicas)
+        ]
+        for p in self.processes:
+            p.start()
+        for i in range(self.n_replicas):
+            self._start_collector(i)
+
+    def _start_collector(self, replica_id: int) -> None:
+        t = threading.Thread(
+            target=self._collect,
+            args=(replica_id, self.result_qs[replica_id]),
+            name=f"mp-collector-{replica_id}",
+            daemon=True,
+        )
+        self._collectors.append(t)
+        t.start()
+
+    def _collect(self, replica_id: int, result_q: Any) -> None:
+        # bind the queue at thread start: restart_replica swaps the slot in
+        # self.result_qs, and the stale collector must not steal from it
+        while self._running and self._collecting[replica_id]:
+            try:
+                item = result_q.get(timeout=0.2)
+            except Exception:
+                continue
+            assert self._sink is not None
+            self._sink(replica_id, item)
+
+    def send(self, replica_id: int, item: tuple) -> None:
+        self.cmd_queues[replica_id].put(item)
+
+    def broadcast(self, item: tuple, alive: Sequence[bool]) -> None:
+        # marshal once, ship the same blob to every replica: pickling the
+        # batch is the dominant per-command cost on this transport
+        blob = pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
+        wrapped = ("BLOB", blob)
+        for i, q in enumerate(self.cmd_queues):
+            if alive[i]:
+                q.put(wrapped)
+
+    def stop_replica(self, replica_id: int) -> None:
+        self._collecting[replica_id] = False
+        proc = self.processes[replica_id]
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=10)
+
+    def restart_replica(self, replica_id: int) -> None:
+        # fresh queues: the old ones may be poisoned by the SIGKILL
+        self.cmd_queues[replica_id] = self._ctx.Queue()
+        self.result_qs[replica_id] = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=run_replica_process,
+            args=(replica_id, self.cmd_queues[replica_id], self.result_qs[replica_id]),
+            daemon=True,
+        )
+        proc.start()
+        self.processes[replica_id] = proc
+        self._collecting[replica_id] = True
+        self._start_collector(replica_id)
+
+    def shutdown(self, alive: Sequence[bool]) -> None:
+        if not self._running:
+            return
+        self._running = False
+        for i, q in enumerate(self.cmd_queues):
+            if alive[i]:
+                q.put(("STOP",))
+        for p in self.processes:
+            p.join(timeout=5)
+            if p.is_alive():
+                p.kill()
+        for t in self._collectors:
+            t.join(timeout=5)

@@ -1,0 +1,103 @@
+"""The replica apply loop — one implementation for every transport.
+
+A replica worker owns a private :class:`~repro.core.statemachine.
+TSStateMachine` and consumes *items* from its transport in FIFO (= total)
+order.  The item protocol is deliberately tiny and value-typed so it can
+cross a pickling boundary unchanged:
+
+received                              meaning
+------------------------------------  ------------------------------------
+``("BATCH", [cmd, ...])``             apply each command, in order
+``("BLOB", bytes)``                   a pickled BATCH, marshalled once by
+                                      the sequencer and shared by every
+                                      replica (the batching optimization)
+``("QUERY", qid, what, arg)``         in-band state query; answered after
+                                      everything sequenced before it
+``("SNAPSHOT", qid)``                 emit a state-transfer snapshot
+``("INSTALL", qid, snap, applied)``   replace state with a snapshot
+``("STOP",)`` / ``None``              exit the loop
+
+emitted
+------------------------------------  ------------------------------------
+``("COMP", request_id, result)``      a completion (every replica reports;
+                                      the group deduplicates)
+``("QUERY", qid, replica_id, ans)``   a query/snapshot/install answer
+
+In-band queries are the replacement for any separate quiescing protocol:
+because they travel on the same FIFO as commands, the answer reflects
+exactly the state after every previously sequenced command.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable
+
+from repro.core.statemachine import TSStateMachine
+
+__all__ = ["replica_loop", "run_replica_process"]
+
+
+def replica_loop(
+    replica_id: int,
+    recv: Callable[[], Any],
+    emit: Callable[[tuple], None],
+    halted: Callable[[], bool] | None = None,
+) -> None:
+    """Apply items from *recv* until STOP; report through *emit*.
+
+    *halted* supports mid-stream crash injection: once it returns True the
+    loop exits before applying anything further, dropping the rest of its
+    FIFO on the floor — the fail-stop behaviour the threaded backend's
+    crash tests rely on.
+    """
+    sm = TSStateMachine()
+    applied = 0
+    stopped = halted if halted is not None else (lambda: False)
+    while True:
+        if stopped():
+            return
+        item = recv()
+        if item is None:
+            return
+        kind = item[0]
+        if kind == "STOP":
+            return
+        if kind == "BLOB":
+            item = pickle.loads(item[1])
+            kind = item[0]
+        if kind == "BATCH":
+            for cmd in item[1]:
+                if stopped():
+                    return
+                completions = sm.apply(cmd)
+                applied += 1
+                for c in completions:
+                    emit(("COMP", c.request_id, c.result))
+        elif kind == "QUERY":
+            _k, qid, what, arg = item
+            if what == "fingerprint":
+                answer: Any = sm.fingerprint()
+            elif what == "space_size":
+                answer = len(sm.registry.store(arg))
+            elif what == "space_tuples":
+                answer = [t.fields for t in sm.registry.store(arg).to_list()]
+            elif what == "applied":
+                answer = applied
+            elif what == "blocked":
+                answer = len(sm.blocked)
+            else:
+                answer = None
+            emit(("QUERY", qid, replica_id, answer))
+        elif kind == "SNAPSHOT":
+            emit(("QUERY", item[1], replica_id, (sm.snapshot(), applied)))
+        elif kind == "INSTALL":
+            _k, qid, snapshot, count = item
+            sm = TSStateMachine.from_snapshot(snapshot)
+            applied = count
+            emit(("QUERY", qid, replica_id, "installed"))
+
+
+def run_replica_process(replica_id: int, cmd_q: Any, result_q: Any) -> None:
+    """Process entry point for the pickling-queue transport (spawn-safe)."""
+    replica_loop(replica_id, cmd_q.get, result_q.put)

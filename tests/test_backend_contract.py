@@ -1,0 +1,158 @@
+"""One contract, three runtimes.
+
+Every backend — single-process ``LocalRuntime``, thread-replicated
+``ThreadedReplicaRuntime``, process-replicated ``MultiprocessRuntime`` —
+implements the same :class:`~repro.core.runtime.BaseRuntime` API, so the
+observable Linda semantics must be identical.  This suite states that
+contract once and runs it over all three, replacing the per-backend
+near-duplicate tests; backend-specific behaviour (ordered cancel,
+pickling, snapshot recovery) stays in the per-backend files.
+"""
+
+import pytest
+
+from repro import (
+    AGS,
+    FAILURE_TAG,
+    Guard,
+    LocalRuntime,
+    Op,
+    SpaceError,
+    formal,
+    ref,
+)
+from repro.core.ags import Branch
+from repro.parallel import MultiprocessRuntime, ThreadedReplicaRuntime
+
+BACKENDS = ["local", "threaded", "multiproc"]
+
+
+@pytest.fixture(params=BACKENDS)
+def rt(request):
+    if request.param == "local":
+        runtime = LocalRuntime()
+    elif request.param == "threaded":
+        runtime = ThreadedReplicaRuntime(n_replicas=3)
+    else:
+        runtime = MultiprocessRuntime(n_replicas=3)
+    yield runtime
+    shutdown = getattr(runtime, "shutdown", None)
+    if shutdown is not None:
+        shutdown()
+
+
+def _replicated(runtime) -> bool:
+    return hasattr(runtime, "crash_replica")
+
+
+class TestLindaOps:
+    def test_out_in_roundtrip(self, rt):
+        rt.out(rt.main_ts, "x", 1)
+        assert rt.in_(rt.main_ts, "x", formal(int)) == ("x", 1)
+
+    def test_rd_leaves_tuple_in_withdraws(self, rt):
+        rt.out(rt.main_ts, "k", 7)
+        assert rt.rd(rt.main_ts, "k", formal(int)) == ("k", 7)
+        assert rt.in_(rt.main_ts, "k", formal(int)) == ("k", 7)
+        assert rt.inp(rt.main_ts, "k", formal(int)) is None
+
+    def test_inp_rdp_do_not_block(self, rt):
+        assert rt.inp(rt.main_ts, "absent", formal(int)) is None
+        assert rt.rdp(rt.main_ts, "absent", formal(int)) is None
+        rt.out(rt.main_ts, "present", 3)
+        assert rt.rdp(rt.main_ts, "present", formal(int)) == ("present", 3)
+        assert rt.inp(rt.main_ts, "present", formal(int)) == ("present", 3)
+
+    def test_blocking_in_wakes_on_out(self, rt):
+        h = rt.eval_(lambda proc: proc.in_(proc.main_ts, "later", formal(int)))
+        rt.out(rt.main_ts, "later", 9)
+        assert h.join(timeout=30) == ("later", 9)
+
+    def test_move_and_copy(self, rt):
+        dst = rt.create_space("dst")
+        rt.out(rt.main_ts, "t", 1)
+        rt.out(rt.main_ts, "t", 2)
+        rt.copy(rt.main_ts, dst, "t", formal(int))
+        assert rt.space_size(dst) == 2
+        rt.move(rt.main_ts, dst, "t", formal(int))
+        assert rt.space_size(dst) == 4
+        assert rt.inp(rt.main_ts, "t", formal(int)) is None
+
+    def test_space_lifecycle(self, rt):
+        h = rt.create_space("jobs")
+        rt.out(h, "j", 1)
+        assert rt.space_size(h) == 1
+        rt.destroy_space(h)
+        with pytest.raises(SpaceError):
+            rt.out(h, "k", 2)
+
+
+class TestAtomicity:
+    def test_ags_atomic_increment_under_concurrency(self, rt):
+        rt.out(rt.main_ts, "c", 0)
+        incr = AGS.single(
+            Guard.in_(rt.main_ts, "c", formal(int, "v")),
+            [Op.out(rt.main_ts, "c", ref("v") + 1)],
+        )
+
+        def worker(proc):
+            for _ in range(10):
+                proc.execute(incr)
+
+        handles = [rt.eval_(worker) for _ in range(4)]
+        for h in handles:
+            h.join(timeout=60)
+        assert rt.rd(rt.main_ts, "c", formal(int)) == ("c", 40)
+
+    def test_disjunctive_guard_fires_available_branch(self, rt):
+        rt.out(rt.main_ts, "b", 2)
+        res = rt.execute(
+            AGS(
+                [
+                    Branch(Guard.inp(rt.main_ts, "a", formal(int, "x")), []),
+                    Branch(Guard.inp(rt.main_ts, "b", formal(int, "x")), []),
+                ]
+            )
+        )
+        assert res.succeeded and res["x"] == 2
+
+
+class TestReplication:
+    def test_crash_replica_mid_stream(self, rt):
+        if not _replicated(rt):
+            pytest.skip("no replicas to crash on this backend")
+        rt.out(rt.main_ts, "pre", 1)
+        rt.crash_replica(1)
+        rt.out(rt.main_ts, "post", 2)
+        assert rt.in_(rt.main_ts, "post", formal(int)) == ("post", 2)
+        assert rt.converged()
+        assert len(rt.fingerprints()) == 2
+        assert rt.inp(rt.main_ts, FAILURE_TAG, 1) is not None
+
+    def test_fingerprints_converge_under_concurrency(self, rt):
+        if not _replicated(rt):
+            pytest.skip("no replica fingerprints on this backend")
+
+        def worker(proc, tag):
+            for i in range(20):
+                proc.out(proc.main_ts, tag, i)
+
+        handles = [rt.eval_(worker, f"t{i}") for i in range(4)]
+        for h in handles:
+            h.join(timeout=60)
+        prints = rt.fingerprints()
+        assert len(prints) == 3
+        assert len(set(prints)) == 1
+
+
+class TestMetrics:
+    def test_metrics_snapshot_populated(self, rt):
+        for i in range(10):
+            rt.out(rt.main_ts, "m", i)
+            rt.in_(rt.main_ts, "m", i)
+        snap = rt.metrics_snapshot()
+        hists = snap["histograms"]
+        assert hists["submit_to_order"]["count"] > 0
+        assert hists["order_to_apply"]["count"] > 0
+        assert hists["ags_e2e"]["count"] >= 20
+        assert snap["counters"]["commands_submitted"] >= 20

@@ -88,6 +88,20 @@ class TestIndexing:
         hits = store.find_all(Pattern(("a", formal())), remove=False)
         assert len(hits) == 2
 
+    def test_untyped_formal_skips_buckets_by_first_field(self, store):
+        # Bound first field + untyped formal: buckets that hold no tuple
+        # with that first-field constant must be skipped via the key index.
+        for i in range(50):
+            store.add(make_tuple("noise", i))
+        store.add(make_tuple("chan", 7))
+        store.add(make_tuple("chan", "s"))
+        hits = store.find_all(Pattern(("chan", formal())), remove=False)
+        assert [h.tup.fields for h in hits] == [("chan", 7), ("chan", "s")]
+        m = store.find(Pattern(("chan", formal(object, "v"))), remove=True)
+        assert m is not None and m.binding["v"] == 7
+        assert store.count(Pattern(("chan", formal()))) == 1
+        assert store.find(Pattern(("absent", formal())), remove=False) is None
+
     def test_formal_in_first_position(self, store):
         store.add(make_tuple("x", 1))
         store.add(make_tuple("y", 2))

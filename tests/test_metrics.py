@@ -1,0 +1,123 @@
+"""Unit tests for the obs metrics layer (counters, histograms, registry)."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry, format_snapshot
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_merge(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(2)
+        b.inc(3)
+        a.merge(b)
+        assert a.value == 5
+
+    def test_concurrent_increments(self):
+        c = Counter("c")
+
+        def hammer():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestHistogram:
+    def test_basic_stats(self):
+        h = Histogram("lat")
+        for v in (0.001, 0.002, 0.004):
+            h.record(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["min"] == 0.001
+        assert snap["max"] == 0.004
+        assert snap["mean"] == pytest.approx(0.007 / 3)
+
+    def test_quantile_is_bucket_upper_bound(self):
+        h = Histogram("lat", lo=1.0, factor=2.0, n_buckets=8)
+        for _ in range(99):
+            h.record(1.5)  # bucket le_2
+        h.record(100.0)  # bucket le_128
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(0.99) == 2.0
+        assert h.quantile(1.0) == 128.0
+
+    def test_overflow_bucket(self):
+        h = Histogram("lat", lo=1.0, factor=2.0, n_buckets=2)
+        h.record(1e9)
+        snap = h.snapshot()
+        assert snap["buckets"] == {"overflow": 1}
+        assert h.quantile(0.5) == 1e9  # falls back to observed max
+
+    def test_merge(self):
+        a, b = Histogram("lat"), Histogram("lat")
+        a.record(0.001)
+        b.record(0.1)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["count"] == 2
+        assert snap["min"] == 0.001
+        assert snap["max"] == 0.1
+
+    def test_merge_rejects_different_layouts(self):
+        a = Histogram("lat", lo=1.0)
+        b = Histogram("lat", lo=2.0)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_empty_snapshot(self):
+        snap = Histogram("lat").snapshot()
+        assert snap["count"] == 0
+        assert snap["p99"] == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(3)
+        reg.histogram("lat").record(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"ops": 3}
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_merge_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("ops").inc(1)
+        b.counter("ops").inc(2)
+        b.histogram("lat", lo=0.5).record(1.0)
+        a.merge(b)
+        snap = a.snapshot()
+        assert snap["counters"]["ops"] == 3
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_format_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(7)
+        reg.histogram("lat").record(0.25)
+        reg.histogram("idle")  # created but never recorded
+        text = format_snapshot(reg.snapshot())
+        assert "ops" in text and "7" in text
+        assert "n=1" in text
+        assert "(empty)" in text
+        assert format_snapshot({"counters": {}, "histograms": {}}) == (
+            "(no metrics recorded)"
+        )

@@ -1,8 +1,15 @@
-"""Tests for the real-parallelism backends (threads and processes)."""
+"""Backend-specific tests for the real-parallelism runtimes.
+
+The semantics shared by every backend (Linda ops, AGS atomicity, crash
+tolerance, convergence, metrics) live in ``test_backend_contract.py``;
+this file keeps only behaviour unique to one backend — ordered
+cancellation, cross-process pickling, snapshot recovery — plus coverage
+of the unbatched sequencing path.
+"""
 
 import pytest
 
-from repro import AGS, FAILURE_TAG, Guard, Op, TimeoutError_, formal, ref
+from repro import AGS, Guard, Op, TimeoutError_, formal, ref
 from repro.parallel import MultiprocessRuntime, ThreadedReplicaRuntime
 
 
@@ -13,46 +20,6 @@ class TestThreadedReplicas:
         yield rt
         rt.shutdown()
 
-    def test_roundtrip(self, rt):
-        rt.out(rt.main_ts, "x", 1)
-        assert rt.in_(rt.main_ts, "x", formal(int)) == ("x", 1)
-
-    def test_replicas_converge_under_concurrency(self, rt):
-        def worker(proc, tag):
-            for i in range(30):
-                proc.out(proc.main_ts, tag, i)
-
-        handles = [rt.eval_(worker, f"t{i}") for i in range(4)]
-        for h in handles:
-            h.join(timeout=30)
-        rt.quiesce()
-        prints = rt.fingerprints()
-        assert len(prints) == 3
-        assert len(set(prints)) == 1
-
-    def test_atomic_increment_with_real_threads(self, rt):
-        rt.out(rt.main_ts, "c", 0)
-        incr = AGS.single(
-            Guard.in_(rt.main_ts, "c", formal(int, "v")),
-            [Op.out(rt.main_ts, "c", ref("v") + 1)],
-        )
-
-        def worker(proc):
-            for _ in range(20):
-                proc.execute(incr)
-
-        handles = [rt.eval_(worker) for _ in range(5)]
-        for h in handles:
-            h.join(timeout=60)
-        assert rt.rd(rt.main_ts, "c", formal(int)) == ("c", 100)
-        rt.quiesce()
-        assert rt.converged()
-
-    def test_blocking_in_across_threads(self, rt):
-        h = rt.eval_(lambda proc: proc.in_(proc.main_ts, "later", formal(int)))
-        rt.out(rt.main_ts, "later", 9)
-        assert h.join(timeout=30) == ("later", 9)
-
     def test_timeout_via_ordered_cancel(self, rt):
         with pytest.raises(TimeoutError_):
             rt.in_(rt.main_ts, "never", timeout=0.1)
@@ -60,31 +27,28 @@ class TestThreadedReplicas:
         rt.out(rt.main_ts, "never")
         assert rt.inp(rt.main_ts, "never") is not None
 
-    def test_crash_replica_group_continues(self, rt):
-        rt.out(rt.main_ts, "pre", 1)
-        rt.crash_replica(1)
-        rt.out(rt.main_ts, "post", 2)
-        assert rt.in_(rt.main_ts, "post", formal(int)) == ("post", 2)
-        rt.quiesce()
-        assert len(rt.fingerprints()) == 2
-        assert rt.converged()
-        # the failure tuple for the dead replica is visible
-        assert rt.inp(rt.main_ts, FAILURE_TAG, 1) is not None
-
     def test_crash_origin_replica(self, rt):
         rt.crash_replica(0)
         rt.out(rt.main_ts, "alive", 1)
         assert rt.in_(rt.main_ts, "alive", formal(int)) == ("alive", 1)
 
-    def test_spaces(self, rt):
-        h = rt.create_space("jobs")
-        rt.out(h, "j", 1)
-        assert rt.space_size(h) == 1
-        rt.destroy_space(h)
-        from repro import SpaceError
+    def test_unbatched_sequencing(self):
+        rt = ThreadedReplicaRuntime(n_replicas=3, batching=False)
+        try:
+            def worker(proc):
+                for i in range(15):
+                    proc.out(proc.main_ts, "u", i)
 
-        with pytest.raises(SpaceError):
-            rt.out(h, "k", 2)
+            handles = [rt.eval_(worker) for _ in range(3)]
+            for h in handles:
+                h.join(timeout=30)
+            assert rt.space_size(rt.main_ts) == 45
+            assert rt.converged()
+            snap = rt.metrics_snapshot()
+            # without batching every command ships as its own batch
+            assert snap["histograms"]["batch_size"]["max"] == 1
+        finally:
+            rt.shutdown()
 
 
 class TestMultiprocess:
@@ -92,16 +56,6 @@ class TestMultiprocess:
     def rt(self):
         with MultiprocessRuntime(n_replicas=3) as rt:
             yield rt
-
-    def test_roundtrip_across_processes(self, rt):
-        rt.out(rt.main_ts, "x", 42)
-        assert rt.in_(rt.main_ts, "x", formal(int)) == ("x", 42)
-
-    def test_replicas_converge(self, rt):
-        for i in range(20):
-            rt.out(rt.main_ts, "n", i)
-        assert rt.converged()
-        assert rt.space_size(rt.main_ts) == 20
 
     def test_ags_pickles_across_process_boundary(self, rt):
         rt.out(rt.main_ts, "c", 10)
@@ -112,47 +66,9 @@ class TestMultiprocess:
         assert res.succeeded and res["v"] == 10
         assert rt.rd(rt.main_ts, "c", formal(int)) == ("c", 30)
 
-    def test_blocking_across_processes(self, rt):
-        h = rt.eval_(lambda proc: proc.in_(proc.main_ts, "later", formal(int)))
-        rt.out(rt.main_ts, "later", 5)
-        assert h.join(timeout=30) == ("later", 5)
-
-    def test_concurrent_clients(self, rt):
-        rt.out(rt.main_ts, "c", 0)
-        incr = AGS.single(
-            Guard.in_(rt.main_ts, "c", formal(int, "v")),
-            [Op.out(rt.main_ts, "c", ref("v") + 1)],
-        )
-
-        def worker(proc):
-            for _ in range(10):
-                proc.execute(incr)
-
-        handles = [rt.eval_(worker) for _ in range(4)]
-        for h in handles:
-            h.join(timeout=60)
-        assert rt.rd(rt.main_ts, "c", formal(int)) == ("c", 40)
-        assert rt.converged()
-
-    def test_kill_replica_group_continues(self, rt):
-        rt.out(rt.main_ts, "pre", 1)
-        rt.crash_replica(2)
-        rt.out(rt.main_ts, "post", 2)
-        assert rt.rdp(rt.main_ts, "post", formal(int)) == ("post", 2)
-        assert rt.converged()
-        assert rt.inp(rt.main_ts, FAILURE_TAG, 2) is not None
-
     def test_timeout(self, rt):
         with pytest.raises(TimeoutError_):
             rt.in_(rt.main_ts, "never", timeout=0.1)
-
-    def test_move_between_spaces(self, rt):
-        h = rt.create_space("dst")
-        rt.out(rt.main_ts, "t", 1)
-        rt.out(rt.main_ts, "t", 2)
-        rt.move(rt.main_ts, h, "t", formal(int))
-        assert rt.space_size(h) == 2
-        assert rt.converged()
 
     def test_kill_then_recover_replica(self, rt):
         for i in range(5):
@@ -175,3 +91,11 @@ class TestMultiprocess:
         rt.out(rt.main_ts, "later", 4)
         assert h.join(timeout=30) == ("later", 4)
         assert rt.converged()
+
+    def test_unbatched_sequencing(self):
+        with MultiprocessRuntime(n_replicas=3, batching=False) as rt:
+            for i in range(10):
+                rt.out(rt.main_ts, "u", i)
+            assert rt.space_size(rt.main_ts) == 10
+            assert rt.converged()
+            assert rt.metrics_snapshot()["histograms"]["batch_size"]["max"] == 1
