@@ -1,0 +1,114 @@
+"""Flight-recorder overhead — what always-on tracing costs.
+
+The tracing acceptance bar is two-sided: **zero** overhead when disabled
+(every emit site is a single ``tracer is None`` branch) and **cheap
+enough to leave on** when enabled (the record path is one GIL-atomic
+counter bump plus one list-slot store; apply spans from replicas ship
+back batched, one queue item per applied batch).
+
+Measured here as blocking out-throughput with concurrent clients on both
+real backends, three configurations each:
+
+- **off**      — no tracer attached (the seed behaviour);
+- **on**       — a ``FlightRecorder`` attached, default 64 Ki-event ring;
+- **on+wrap**  — a deliberately tiny ring (256 events) forced to wrap
+  constantly, showing overwrite costs no more than append.
+
+The off→on delta is the headline number reported in
+``benchmarks/results/bench_tracing.txt``.  It is held to a loose bound
+(≤25% throughput loss) rather than a tight one: blocking round trips are
+latency-bound, so run-to-run scheduling noise dominates any honest
+tighter bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.bench import Table, save_table
+from repro.obs.tracing import FlightRecorder
+from repro.parallel import MultiprocessRuntime, ThreadedReplicaRuntime
+
+CLIENTS = 8
+OPS = {"threaded": 250, "multiproc": 100}  # blocking outs per client
+
+
+def _spawn_clients(clients: int, body) -> float:
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(c: int) -> None:
+        barrier.wait()
+        body(c)
+
+    threads = [
+        threading.Thread(target=worker, args=(c,), name=f"bench-client-{c}")
+        for c in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0
+
+
+def _throughput(rt, per_client: int) -> float:
+    for k in range(20):  # absorb replica startup before timing
+        rt.out(rt.main_ts, "warmup", k)
+    rt.group.quiesce()
+
+    def body(c: int) -> None:
+        for k in range(per_client):
+            rt.out(rt.main_ts, "bench", c, k)
+
+    return CLIENTS * per_client / _spawn_clients(CLIENTS, body)
+
+
+CONFIGS = [
+    ("off", lambda: None),
+    ("on", lambda: FlightRecorder()),
+    ("on+wrap", lambda: FlightRecorder(capacity=256)),
+]
+
+
+def test_tracing_overhead(benchmark):
+    def run():
+        table = Table(
+            f"Flight-recorder overhead: blocking out/s, {CLIENTS} clients",
+            ["backend", "tracing", "out/s", "events", "vs off"],
+        )
+        out: dict[str, dict[str, float]] = {}
+        for name, make_rt in (
+            ("threaded", lambda t: ThreadedReplicaRuntime(3, tracer=t)),
+            ("multiproc", lambda t: MultiprocessRuntime(3, tracer=t)),
+        ):
+            per = OPS[name]
+            rates: dict[str, float] = {}
+            for label, make_tracer in CONFIGS:
+                tracer = make_tracer()
+                rt = make_rt(tracer)
+                try:
+                    rates[label] = _throughput(rt, per)
+                finally:
+                    rt.shutdown()
+                n_events = len(tracer) if tracer is not None else 0
+                table.add(
+                    name, label, rates[label], n_events,
+                    f"{rates[label] / rates['off']:.2f}x",
+                )
+            out[name] = rates
+        table.note(
+            "enabled-path cost: ~5 ring stores per AGS (submit/broadcast/"
+            "3 applies/e2e) + one batched SPANS queue item per applied "
+            "batch; disabled path is one `is None` branch per site"
+        )
+        save_table(table, "bench_tracing")
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    for rates in out.values():
+        # enabled tracing must stay within 25% of untraced throughput
+        assert rates["on"] > 0.75 * rates["off"], rates
+        assert rates["on+wrap"] > 0.75 * rates["off"], rates

@@ -10,11 +10,20 @@ Run::
     python -m repro.cli
     python -m repro.cli --program examples/worker.ftl
     python -m repro.cli metrics --backend multiproc --ops 500
+    python -m repro.cli trace --backend multiproc --ops 100 --out trace.json
 
 The ``metrics`` subcommand drives a small tuple-churn workload on a
 chosen backend and prints the runtime's metrics snapshot (submit→order,
 order→apply and end-to-end AGS latency histograms, plus batching
 counters) — the quickest way to see what the replication pipeline costs.
+``--json`` emits the raw snapshot dict as JSON for machine consumption.
+
+The ``trace`` subcommand runs the same workload with a flight recorder
+attached, exports the recorded spans as Chrome trace-event JSON (open
+``--out`` in Perfetto or ``chrome://tracing``: one track per replica plus
+the client tracks), runs the trace-driven replica-consistency checker
+over the per-replica apply streams, and can print a text timeline
+(``--text``).
 
 Commands (everything else is compiled as an FT-lcc statement)::
 
@@ -194,16 +203,9 @@ def _parse_value(text: str) -> Any:
     return text
 
 
-def _metrics_main(argv: list[str]) -> int:
-    """``python -m repro.cli metrics``: run a workload, print metrics."""
-    import threading
-
-    from repro.obs.metrics import format_snapshot
-
-    parser = argparse.ArgumentParser(
-        prog="ftlsh metrics",
-        description="drive a tuple-churn workload and print runtime metrics",
-    )
+def _workload_parser(prog: str, description: str) -> argparse.ArgumentParser:
+    """Shared options of the metrics/trace workload subcommands."""
+    parser = argparse.ArgumentParser(prog=prog, description=description)
     parser.add_argument(
         "--backend",
         choices=("local", "threaded", "multiproc"),
@@ -220,51 +222,147 @@ def _metrics_main(argv: list[str]) -> int:
         action="store_true",
         help="disable command batching (non-local backends)",
     )
-    opts = parser.parse_args(argv)
+    return parser
 
+
+def _build_runtime(opts: argparse.Namespace, tracer: Any = None) -> Any:
     if opts.backend == "local":
-        rt = LocalRuntime()
-    elif opts.backend == "threaded":
+        return LocalRuntime(tracer=tracer)
+    if opts.backend == "threaded":
         from repro.parallel import ThreadedReplicaRuntime
 
-        rt = ThreadedReplicaRuntime(opts.replicas, batching=not opts.no_batching)
-    else:
-        from repro.parallel import MultiprocessRuntime
+        return ThreadedReplicaRuntime(
+            opts.replicas, batching=not opts.no_batching, tracer=tracer
+        )
+    from repro.parallel import MultiprocessRuntime
 
-        rt = MultiprocessRuntime(opts.replicas, batching=not opts.no_batching)
+    return MultiprocessRuntime(
+        opts.replicas, batching=not opts.no_batching, tracer=tracer
+    )
 
-    per_client = max(1, opts.ops // max(1, opts.clients))
+
+def _run_churn(rt: Any, clients: int, ops: int) -> int:
+    """Drive `ops` out/in pairs split across `clients` threads."""
+    import threading
+
+    per_client = max(1, ops // max(1, clients))
 
     def churn(client: int) -> None:
         for k in range(per_client):
             rt.out(rt.main_ts, "metrics-op", client, k)
             rt.in_(rt.main_ts, "metrics-op", client, k)
 
+    threads = [
+        threading.Thread(target=churn, args=(c,), name=f"client-{c}")
+        for c in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return per_client * clients
+
+
+def _shutdown(rt: Any) -> None:
+    shutdown = getattr(rt, "shutdown", None)
+    if shutdown is not None:
+        shutdown()
+
+
+def _metrics_main(argv: list[str]) -> int:
+    """``python -m repro.cli metrics``: run a workload, print metrics."""
+    import json
+
+    from repro.obs.metrics import format_snapshot
+
+    parser = _workload_parser(
+        "ftlsh metrics",
+        "drive a tuple-churn workload and print runtime metrics",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw metrics_snapshot() dict as JSON",
+    )
+    opts = parser.parse_args(argv)
+    rt = _build_runtime(opts)
     try:
-        threads = [
-            threading.Thread(target=churn, args=(c,), name=f"client-{c}")
-            for c in range(opts.clients)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        print(
-            f"backend={opts.backend} clients={opts.clients} "
-            f"ops={per_client * opts.clients}"
-        )
-        print(format_snapshot(rt.metrics_snapshot()))
+        total = _run_churn(rt, opts.clients, opts.ops)
+        if opts.json:
+            print(json.dumps(rt.metrics_snapshot(), indent=2, sort_keys=True))
+        else:
+            print(
+                f"backend={opts.backend} clients={opts.clients} ops={total}"
+            )
+            print(format_snapshot(rt.metrics_snapshot()))
     finally:
-        shutdown = getattr(rt, "shutdown", None)
-        if shutdown is not None:
-            shutdown()
+        _shutdown(rt)
     return 0
+
+
+def _trace_main(argv: list[str]) -> int:
+    """``python -m repro.cli trace``: record a traced run, export + check it."""
+    import json
+
+    from repro.obs.check import check_consistency
+    from repro.obs.tracing import FlightRecorder, render_events, to_chrome_trace
+
+    parser = _workload_parser(
+        "ftlsh trace",
+        "record a flight-recorder trace of a tuple-churn workload, export "
+        "Chrome trace-event JSON and check replica consistency",
+    )
+    parser.add_argument(
+        "--out",
+        default="trace.json",
+        help="Chrome trace-event JSON output path (default: trace.json)",
+    )
+    parser.add_argument(
+        "--text",
+        action="store_true",
+        help="also print a text timeline of the recorded events",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=1 << 16,
+        help="flight-recorder ring size in events",
+    )
+    opts = parser.parse_args(argv)
+    tracer = FlightRecorder(capacity=opts.capacity)
+    rt = _build_runtime(opts, tracer=tracer)
+    try:
+        total = _run_churn(rt, opts.clients, opts.ops)
+        quiesce = getattr(rt, "quiesce", None)
+        if quiesce is not None:
+            quiesce()  # in-band: every replica's SPANS precede the answer
+    finally:
+        _shutdown(rt)
+    events = tracer.events()
+    with open(opts.out, "w") as f:
+        json.dump(to_chrome_trace(events), f)
+    if opts.text:
+        print(render_events(events))
+    by_name: dict[str, int] = {}
+    for e in events:
+        by_name[e.name] = by_name.get(e.name, 0) + 1
+    spans = " ".join(f"{k}={v}" for k, v in sorted(by_name.items()))
+    print(
+        f"backend={opts.backend} clients={opts.clients} ops={total} "
+        f"events={len(events)} ({spans})"
+    )
+    print(f"wrote {opts.out} — open in Perfetto or chrome://tracing")
+    report = check_consistency(events)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "metrics":
         return _metrics_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ftlsh", description="interactive FT-Linda shell"
     )

@@ -125,6 +125,11 @@ class ReplicaLayer(Protocol):
         self._c_cmds = self.metrics.counter("commands_submitted")
         self._submit_t: dict[int, float] = {}
         self._order_t: dict[int, float] = {}
+        #: Apply-stream hook: called as ``(host_id, slot, request_id)`` for
+        #: every ordered command (the sim Tracer plants it; ``None`` = off).
+        #: The slot is ``sm.applied_count`` — part of the snapshot, so a
+        #: recovered host resumes counting exactly where its donor stood.
+        self.trace_apply: Any | None = None
 
     def _fresh_volatile(self) -> TSStateMachine:
         reg = SpaceRegistry(
@@ -248,6 +253,8 @@ class ReplicaLayer(Protocol):
         # charged to the completion notifications below.
         completions = self.sm.apply(cmd)
         self.commands_applied += 1
+        if self.trace_apply is not None:
+            self.trace_apply(self.host.id, self.sm.applied_count, cmd.request_id)
         rid = getattr(cmd, "request_id", None)
         if rid is not None and rid in self._submit_t and rid not in self._order_t:
             now = self.host.sim.now

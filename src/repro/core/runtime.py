@@ -43,6 +43,7 @@ from repro.core.statemachine import (
 )
 from repro.core.tuples import Formal, LindaTuple
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import FlightRecorder
 
 __all__ = ["BaseRuntime", "LocalRuntime", "ProcessView"]
 
@@ -394,7 +395,9 @@ class LocalRuntime(BaseRuntime):
     deterministic wake-up scan whenever any statement completes.
     """
 
-    def __init__(self, *, op_stats: bool = False):
+    def __init__(
+        self, *, op_stats: bool = False, tracer: FlightRecorder | None = None
+    ):
         super().__init__()
         self._sm = TSStateMachine(op_stats=op_stats)
         self._lock = threading.Lock()
@@ -402,6 +405,7 @@ class LocalRuntime(BaseRuntime):
         self._req_ids = itertools.count(1)
         self._results: dict[int, AGSResult] = {}
         self.metrics = MetricsRegistry()
+        self.tracer = tracer
         self._h_submit = self.metrics.histogram("submit_to_order")
         self._h_apply = self.metrics.histogram("order_to_apply")
         self._h_e2e = self.metrics.histogram("ags_e2e")
@@ -415,6 +419,7 @@ class LocalRuntime(BaseRuntime):
         self, ags: AGS, process_id: int, *, timeout: float | None = None
     ) -> AGSResult:
         t_submit = _now()
+        tracer = self.tracer
         self._c_cmds.inc()
         with self._cond:
             # lock acquisition is this runtime's total order: waiting for
@@ -425,7 +430,24 @@ class LocalRuntime(BaseRuntime):
             completions = self._sm.apply(
                 ExecuteAGS(rid, _LOCAL_ORIGIN, process_id, ags)
             )
-            self._h_apply.record(_now() - t_ordered)
+            t_applied = _now()
+            self._h_apply.record(t_applied - t_ordered)
+            trace_id = None
+            if tracer is not None:
+                # same span vocabulary as the replica group: one trace per
+                # AGS, the single state machine playing replica-0
+                trace_id = tracer.next_trace_id()
+                track = f"client:{threading.current_thread().name}"
+                tracer.record_span(
+                    t_submit, track, "client", "submit_to_order",
+                    dur=t_ordered - t_submit, trace_id=trace_id,
+                    args={"request_id": rid},
+                )
+                tracer.record_span(
+                    t_ordered, "replica-0", "replica", "apply",
+                    dur=t_applied - t_ordered, trace_id=trace_id,
+                    args={"slot": self._sm.applied_count, "request_id": rid},
+                )
             for c in completions:
                 self._results[c.request_id] = c.result
             if any(c.request_id != rid for c in completions):
@@ -433,7 +455,7 @@ class LocalRuntime(BaseRuntime):
                 self._cond.notify_all()
             if rid in self._results:
                 result = self._results.pop(rid)
-                self._h_e2e.record(_now() - t_submit)
+                self._finish_e2e(t_submit, rid, trace_id)
                 return result
             # parked: wait until some later statement completes ours
             deadline = None if timeout is None else _now() + timeout
@@ -446,8 +468,22 @@ class LocalRuntime(BaseRuntime):
                     )
                 self._cond.wait(remaining)
             result = self._results.pop(rid)
-            self._h_e2e.record(_now() - t_submit)
+            self._finish_e2e(t_submit, rid, trace_id)
             return result
+
+    def _finish_e2e(self, t_submit: float, rid: int, trace_id: int | None) -> None:
+        now = _now()
+        self._h_e2e.record(now - t_submit)
+        if self.tracer is not None and trace_id is not None:
+            self.tracer.record_span(
+                t_submit,
+                f"client:{threading.current_thread().name}",
+                "client",
+                "e2e",
+                dur=now - t_submit,
+                trace_id=trace_id,
+                args={"request_id": rid},
+            )
 
     def _cancel_blocked(self, rid: int) -> None:
         self._sm.blocked = [

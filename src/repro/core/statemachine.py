@@ -71,13 +71,22 @@ RECOVERY_TAG = "ft_recovery"
 
 
 class Command:
-    """Base class of totally ordered state-machine commands."""
+    """Base class of totally ordered state-machine commands.
 
-    __slots__ = ("request_id", "origin_host")
+    ``trace_id`` is observability metadata, not replicated state: it stays
+    ``None`` unless a flight recorder is attached to the replica group, in
+    which case the group stamps a fresh per-AGS id at submission.  It
+    rides inside the command through batching and the pickled multiproc
+    blob, so the replica apply loops can tag their ``apply`` spans with
+    the same id the client's ``e2e`` span carries.
+    """
+
+    __slots__ = ("request_id", "origin_host", "trace_id")
 
     def __init__(self, request_id: int, origin_host: int):
         self.request_id = request_id
         self.origin_host = origin_host
+        self.trace_id: int | None = None
 
 
 class ExecuteAGS(Command):

@@ -1,12 +1,29 @@
-"""Runtime observability: counters and latency histograms.
+"""Runtime observability: metrics, tracing, and consistency checking.
 
 Buravlev et al. (PAPERS.md) show that the *submission path* — ordering
 plus marshalling — dominates tuple-space cost.  To optimize that path we
 must first measure it, identically, on every backend.  This package holds
-the one metrics implementation all runtimes share; see
-:mod:`repro.obs.metrics`.
+the one metrics implementation all runtimes share
+(:mod:`repro.obs.metrics`), the flight recorder + Chrome-trace exporter
+that makes the replication pipeline visible span by span
+(:mod:`repro.obs.tracing`), and the trace-driven replica-consistency
+checker built on top of the recorded apply streams
+(:mod:`repro.obs.check`).
 """
 
+from repro.obs.check import ConsistencyReport, check_consistency
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry, format_snapshot
+from repro.obs.tracing import FlightRecorder, SpanEvent, render_events, to_chrome_trace
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry", "format_snapshot"]
+__all__ = [
+    "ConsistencyReport",
+    "Counter",
+    "FlightRecorder",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanEvent",
+    "check_consistency",
+    "format_snapshot",
+    "render_events",
+    "to_chrome_trace",
+]

@@ -65,7 +65,8 @@ class Histogram:
     """
 
     __slots__ = (
-        "name", "_bounds", "_buckets", "_count", "_sum", "_min", "_max", "_lock",
+        "name", "_bounds", "_buckets", "_count", "_sum", "_min", "_max",
+        "_clamped", "_lock",
     )
 
     def __init__(
@@ -88,14 +89,24 @@ class Histogram:
         self._sum = 0.0
         self._min: float | None = None
         self._max: float | None = None
+        self._clamped = 0
         self._lock = threading.Lock()
 
     def record(self, value: float) -> None:
+        # A NaN would poison the running sum forever and a negative value
+        # (e.g. from a clock source stepping backwards) would land in the
+        # lowest bucket while dragging the sum down.  Clamp both to zero
+        # and count them, so the corruption is visible instead of silent.
+        clamped = not (value >= 0.0)  # False for NaN too, hence the inversion
+        if clamped:
+            value = 0.0
         idx = bisect_left(self._bounds, value)
         with self._lock:
             self._buckets[idx] += 1
             self._count += 1
             self._sum += value
+            if clamped:
+                self._clamped += 1
             if self._min is None or value < self._min:
                 self._min = value
             if self._max is None or value > self._max:
@@ -135,11 +146,13 @@ class Histogram:
             buckets = list(other._buckets)
             count, total = other._count, other._sum
             omin, omax = other._min, other._max
+            oclamped = other._clamped
         with self._lock:
             for i, n in enumerate(buckets):
                 self._buckets[i] += n
             self._count += count
             self._sum += total
+            self._clamped += oclamped
             if omin is not None and (self._min is None or omin < self._min):
                 self._min = omin
             if omax is not None and (self._max is None or omax > self._max):
@@ -149,6 +162,7 @@ class Histogram:
         with self._lock:
             count, total = self._count, self._sum
             vmin, vmax = self._min, self._max
+            clamped = self._clamped
             buckets = {
                 f"le_{self._bounds[i]:g}" if i < len(self._bounds) else "overflow": n
                 for i, n in enumerate(self._buckets)
@@ -163,6 +177,7 @@ class Histogram:
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
+            "clamped": clamped,
             "buckets": buckets,
         }
 

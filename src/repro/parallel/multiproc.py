@@ -35,6 +35,7 @@ from repro.core.runtime import BaseRuntime
 from repro.core.spaces import Resilience, Scope, TSHandle
 from repro.core.statemachine import CreateSpace, DestroySpace, ExecuteAGS
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import FlightRecorder
 from repro.replication import PickleQueueTransport, ReplicaGroup
 from repro.replication.group import CLIENT_ORIGIN
 
@@ -50,16 +51,22 @@ class MultiprocessRuntime(BaseRuntime):
         *,
         start_method: str = "spawn",
         batching: bool = True,
+        tracer: FlightRecorder | None = None,
     ):
         super().__init__()
         self.group = ReplicaGroup(
             PickleQueueTransport(n_replicas, start_method=start_method),
             batching=batching,
+            tracer=tracer,
         )
 
     @property
     def metrics(self) -> MetricsRegistry:
         return self.group.metrics
+
+    @property
+    def tracer(self) -> FlightRecorder | None:
+        return self.group.tracer
 
     # ------------------------------------------------------------------ #
     # BaseRuntime implementation
@@ -115,6 +122,10 @@ class MultiprocessRuntime(BaseRuntime):
     def recover_replica(self, replica_id: int, *, timeout: float = 30.0) -> None:
         """Restart a killed replica process and transfer state into it."""
         self.group.recover_replica(replica_id, timeout=timeout)
+
+    def quiesce(self, timeout: float = 30.0) -> None:
+        """Wait until every live replica has applied every broadcast."""
+        self.group.quiesce(timeout=timeout)
 
     def fingerprints(self) -> list[int]:
         return self.group.fingerprints()

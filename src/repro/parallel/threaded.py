@@ -28,6 +28,7 @@ from repro.core.runtime import BaseRuntime
 from repro.core.spaces import Resilience, Scope, TSHandle
 from repro.core.statemachine import CreateSpace, DestroySpace, ExecuteAGS
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import FlightRecorder
 from repro.replication import InMemoryTransport, ReplicaGroup
 from repro.replication.group import CLIENT_ORIGIN
 
@@ -37,13 +38,25 @@ __all__ = ["ThreadedReplicaRuntime"]
 class ThreadedReplicaRuntime(BaseRuntime):
     """FT-Linda over N threaded replicas (see module docstring)."""
 
-    def __init__(self, n_replicas: int = 3, *, batching: bool = True):
+    def __init__(
+        self,
+        n_replicas: int = 3,
+        *,
+        batching: bool = True,
+        tracer: FlightRecorder | None = None,
+    ):
         super().__init__()
-        self.group = ReplicaGroup(InMemoryTransport(n_replicas), batching=batching)
+        self.group = ReplicaGroup(
+            InMemoryTransport(n_replicas), batching=batching, tracer=tracer
+        )
 
     @property
     def metrics(self) -> MetricsRegistry:
         return self.group.metrics
+
+    @property
+    def tracer(self) -> FlightRecorder | None:
+        return self.group.tracer
 
     # ------------------------------------------------------------------ #
     # BaseRuntime implementation

@@ -25,7 +25,15 @@ One object owns everything the paper's ordered-update pipeline needs
   state transfer for transports that support restart;
 - **metrics** — submit→order, order→apply and end-to-end AGS latency
   histograms plus submission/batch counters, recorded in one place so
-  every backend reports identical instruments.
+  every backend reports identical instruments;
+- **tracing** — with a :class:`~repro.obs.tracing.FlightRecorder`
+  attached, every submission is minted a per-AGS trace id that rides
+  inside the command through the sequencer batch, the transport (incl.
+  the pickled multiproc blob) and the replica apply loops; the group
+  records ``submit_to_order`` / ``broadcast`` / ``e2e`` spans here and
+  ingests the per-replica ``apply`` spans the workers emit, all under
+  one trace.  With no recorder attached (the default) every emit site
+  is a single ``is not None`` check and commands carry ``trace_id=None``.
 """
 
 from __future__ import annotations
@@ -46,6 +54,7 @@ from repro.core.statemachine import (
     HostRecovered,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import FlightRecorder
 from repro.replication.transport import Transport
 
 __all__ = ["ReplicaGroup"]
@@ -63,13 +72,15 @@ _CANCEL_GRACE_S = 30.0
 class _Waiter:
     """One parked client submission and its latency timestamps."""
 
-    __slots__ = ("event", "slot", "t_submit", "t_ordered")
+    __slots__ = ("event", "slot", "t_submit", "t_ordered", "trace_id", "track")
 
     def __init__(self, t_submit: float):
         self.event = threading.Event()
         self.slot: list[Any] = []
         self.t_submit = t_submit
         self.t_ordered: float | None = None
+        self.trace_id: int | None = None
+        self.track = ""
 
 
 class ReplicaGroup:
@@ -81,12 +92,14 @@ class ReplicaGroup:
         *,
         batching: bool = True,
         metrics: MetricsRegistry | None = None,
+        tracer: FlightRecorder | None = None,
     ):
         self.transport = transport
         self.n_replicas = transport.n_replicas
         self.batching = batching
         self.alive = [True] * self.n_replicas
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
         self._req_ids = itertools.count(1)
         self._qids = itertools.count(1)
         self._seq_lock = threading.Lock()  # holding this IS the total order
@@ -127,6 +140,10 @@ class ReplicaGroup:
         never consume a tuple it did not report.
         """
         w = _Waiter(time.monotonic())
+        tracer = self.tracer
+        if tracer is not None:
+            cmd.trace_id = w.trace_id = tracer.next_trace_id()
+            w.track = f"client:{threading.current_thread().name}"
         with self._state_lock:
             self._waiters[cmd.request_id] = w
         self._c_cmds.inc()
@@ -143,6 +160,9 @@ class ReplicaGroup:
 
     def post(self, cmd: Command) -> None:
         """Sequence *cmd* without waiting for any completion."""
+        tracer = self.tracer
+        if tracer is not None:
+            cmd.trace_id = tracer.next_trace_id()
         self._ship(cmd, None)
 
     def _ship(self, cmd: Command, w: _Waiter | None) -> None:
@@ -199,7 +219,45 @@ class ReplicaGroup:
                 self._h_submit.record(now - w.t_submit)
         self._c_batches.inc()
         self._h_batch.record(len(batch))
-        self.transport.broadcast(("BATCH", cmds), self.alive)
+        info = self.transport.broadcast(("BATCH", cmds), self.alive)
+        tracer = self.tracer
+        if tracer is not None:
+            self._trace_batch(tracer, batch, now, info)
+
+    def _trace_batch(
+        self,
+        tracer: FlightRecorder,
+        batch: list[tuple[Command, _Waiter | None]],
+        t_ordered: float,
+        info: Any,
+    ) -> None:
+        """Record the batch's broadcast span and each AGS's submit span."""
+        traced: list[int] = []
+        for cmd, w in batch:
+            if cmd.trace_id is None:
+                continue
+            traced.append(cmd.trace_id)
+            if w is not None:
+                tracer.record_span(
+                    w.t_submit,
+                    w.track,
+                    "client",
+                    "submit_to_order",
+                    dur=t_ordered - w.t_submit,
+                    trace_id=cmd.trace_id,
+                    args={"request_id": cmd.request_id},
+                )
+        args: dict[str, Any] = {"batch": len(batch), "trace_ids": traced}
+        if isinstance(info, int):
+            args["bytes"] = info
+        tracer.record_span(
+            t_ordered,
+            "sequencer",
+            "group",
+            "broadcast",
+            dur=time.monotonic() - t_ordered,
+            args=args,
+        )
 
     # ------------------------------------------------------------------ #
     # worker emissions (completions + query answers)
@@ -216,8 +274,33 @@ class ReplicaGroup:
                 if w.t_ordered is not None:
                     self._h_apply.record(now - w.t_ordered)
                 self._h_e2e.record(now - w.t_submit)
+                tracer = self.tracer
+                if tracer is not None and w.trace_id is not None:
+                    tracer.record_span(
+                        w.t_submit,
+                        w.track,
+                        "client",
+                        "e2e",
+                        dur=now - w.t_submit,
+                        trace_id=w.trace_id,
+                        args={"request_id": rid, "replica": replica_id},
+                    )
                 w.slot.append(result)
                 w.event.set()
+        elif kind == "SPANS":
+            tracer = self.tracer
+            if tracer is not None:
+                track = f"replica-{replica_id}"
+                for trace_id, rid, slot, ts, dur in item[1]:
+                    tracer.record_span(
+                        ts,
+                        track,
+                        "replica",
+                        "apply",
+                        dur=dur,
+                        trace_id=trace_id,
+                        args={"slot": slot, "request_id": rid},
+                    )
         elif kind == "QUERY":
             _k, qid, answering_replica, answer = item
             with self._state_lock:
@@ -266,6 +349,10 @@ class ReplicaGroup:
             return
         self.alive[replica_id] = False
         self.transport.stop_replica(replica_id)
+        if self.tracer is not None:
+            self.tracer.record_span(
+                time.monotonic(), f"replica-{replica_id}", "membership", "crash"
+            )
         if notify and any(self.alive):
             self.post(HostFailed(self.next_request_id(), CLIENT_ORIGIN, replica_id))
 
@@ -305,6 +392,14 @@ class ReplicaGroup:
             self.alive[replica_id] = True
         if not event2.wait(timeout):
             raise TimeoutError_("recovered replica did not confirm install")
+        if self.tracer is not None:
+            self.tracer.record_span(
+                time.monotonic(),
+                f"replica-{replica_id}",
+                "membership",
+                "recover",
+                args={"applied": applied},
+            )
         self.post(HostRecovered(self.next_request_id(), CLIENT_ORIGIN, replica_id))
 
     # ------------------------------------------------------------------ #

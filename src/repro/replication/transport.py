@@ -56,11 +56,15 @@ class Transport(Protocol):
         """Enqueue one item on a single replica's FIFO (in-band)."""
         ...
 
-    def broadcast(self, item: tuple, alive: Sequence[bool]) -> None:
+    def broadcast(self, item: tuple, alive: Sequence[bool]) -> Any:
         """Enqueue *item* on every live replica's FIFO.
 
         Called with the sequencer lock held: the order of broadcast calls
         IS the total order, and the transport must preserve it per FIFO.
+        May return transport-specific delivery info (e.g. the marshalled
+        size in bytes) — the replica group attaches it to the batch's
+        ``broadcast`` span when tracing is enabled, and ignores it
+        otherwise.
         """
         ...
 
@@ -115,6 +119,7 @@ class InMemoryTransport:
         for i, fifo in enumerate(self._fifos):
             if alive[i]:
                 fifo.put(item)
+        return None
 
     def stop_replica(self, replica_id: int) -> None:
         # the halt flag drops anything still queued (mid-stream crash); the
@@ -198,7 +203,7 @@ class PickleQueueTransport:
     def send(self, replica_id: int, item: tuple) -> None:
         self.cmd_queues[replica_id].put(item)
 
-    def broadcast(self, item: tuple, alive: Sequence[bool]) -> None:
+    def broadcast(self, item: tuple, alive: Sequence[bool]) -> int:
         # marshal once, ship the same blob to every replica: pickling the
         # batch is the dominant per-command cost on this transport
         blob = pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
@@ -206,6 +211,7 @@ class PickleQueueTransport:
         for i, q in enumerate(self.cmd_queues):
             if alive[i]:
                 q.put(wrapped)
+        return len(blob)
 
     def stop_replica(self, replica_id: int) -> None:
         self._collecting[replica_id] = False

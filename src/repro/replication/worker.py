@@ -22,6 +22,14 @@ emitted
 ``("COMP", request_id, result)``      a completion (every replica reports;
                                       the group deduplicates)
 ``("QUERY", qid, replica_id, ans)``   a query/snapshot/install answer
+``("SPANS", [(trace_id, request_id,   apply-span records for the traced
+  slot, ts, dur), ...])``             commands of one batch — emitted only
+                                      when commands carry trace ids, i.e.
+                                      when a flight recorder is attached;
+                                      ``slot`` is the replica's applied
+                                      count, its coordinate in the total
+                                      order (the consistency checker's
+                                      input)
 
 In-band queries are the replacement for any separate quiescing protocol:
 because they travel on the same FIFO as commands, the answer reflects
@@ -31,6 +39,7 @@ exactly the state after every previously sequenced command.
 from __future__ import annotations
 
 import pickle
+import time
 from typing import Any, Callable
 
 from repro.core.statemachine import TSStateMachine
@@ -67,13 +76,30 @@ def replica_loop(
             item = pickle.loads(item[1])
             kind = item[0]
         if kind == "BATCH":
+            spans: list[tuple] | None = None
             for cmd in item[1]:
                 if stopped():
                     return
-                completions = sm.apply(cmd)
-                applied += 1
+                trace_id = cmd.trace_id
+                if trace_id is None:
+                    completions = sm.apply(cmd)
+                    applied += 1
+                else:
+                    # traced: time the apply and record this replica's
+                    # (slot, request_id) coordinate in the total order
+                    t0 = time.monotonic()
+                    completions = sm.apply(cmd)
+                    applied += 1
+                    if spans is None:
+                        spans = []
+                    spans.append(
+                        (trace_id, cmd.request_id, applied,
+                         t0, time.monotonic() - t0)
+                    )
                 for c in completions:
                     emit(("COMP", c.request_id, c.result))
+            if spans is not None:
+                emit(("SPANS", spans))
         elif kind == "QUERY":
             _k, qid, what, arg = item
             if what == "fingerprint":

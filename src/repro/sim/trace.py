@@ -9,6 +9,14 @@ snapshots), and the tracer filters and renders them as a timeline.
 Tracing is opt-in and zero-cost when off: emit points call
 :meth:`Tracer.emit` through a module-level hook that defaults to ``None``.
 
+Events share the schema of the real backends' flight recorder
+(:class:`~repro.obs.tracing.SpanEvent`): :class:`TraceEvent` is a
+subclass that adds the simulator's host/layer vocabulary, so a simulated
+trace exports to the same Chrome trace-event JSON
+(:meth:`Tracer.to_chrome`) and feeds the same consistency checker
+(:func:`repro.obs.check.check_consistency`) as a threaded or multiproc
+run — simulated and real traces render identically.
+
 Usage::
 
     from repro.sim.trace import Tracer
@@ -18,26 +26,57 @@ Usage::
     tracer.attach(cluster)
     ... run ...
     print(tracer.render(layer="mem"))
+    json.dump(tracer.to_chrome(), open("sim-trace.json", "w"))
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
+from typing import Any, Callable
+
+from repro.obs.tracing import SpanEvent, to_chrome_trace
 
 __all__ = ["TraceEvent", "Tracer"]
 
 
-class TraceEvent:
-    """One protocol event."""
+class TraceEvent(SpanEvent):
+    """One protocol event — a :class:`SpanEvent` in sim vocabulary.
 
-    __slots__ = ("time", "host", "layer", "event", "detail")
+    Constructed with the simulator's native coordinates (virtual µs and
+    an integer host id); stores them in the shared schema (seconds,
+    ``host-N`` track) and keeps the legacy accessors as properties.
+    """
+
+    __slots__ = ()
 
     def __init__(self, time: float, host: int, layer: str, event: str, detail: Any):
-        self.time = time
-        self.host = host
-        self.layer = layer
-        self.event = event
-        self.detail = detail
+        super().__init__(
+            time / 1e6,  # virtual µs -> virtual seconds, as in repro.obs
+            f"host-{host}",
+            layer,
+            event,
+            args={"host": host, "detail": detail},
+        )
+
+    @property
+    def time(self) -> float:
+        """Event time in virtual microseconds (the simulator's clock)."""
+        return self.ts * 1e6
+
+    @property
+    def host(self) -> int:
+        return self.args["host"]
+
+    @property
+    def layer(self) -> str:
+        return self.cat
+
+    @property
+    def event(self) -> str:
+        return self.name
+
+    @property
+    def detail(self) -> Any:
+        return self.args["detail"]
 
     def __repr__(self) -> str:
         return (
@@ -62,7 +101,9 @@ class Tracer:
         """Instrument every host's protocol stack in *cluster*.
 
         Wraps the interesting entry points of each layer with emitting
-        proxies; detaching is not supported (build a fresh cluster).
+        proxies and plants the replica layers' apply hook (the
+        consistency checker's input); detaching is not supported (build a
+        fresh cluster).
         """
         self._cluster = cluster
         for host in cluster.hosts:
@@ -100,6 +141,9 @@ class Tracer:
                 "_install_snapshot": lambda a, k: "",
                 "submit_ags": lambda a, k: f"pid={a[1] if len(a) > 1 else 0}",
             }
+            # the apply-stream hook: every ordered command's (slot,
+            # request_id) coordinate, the consistency checker's input
+            layer.trace_apply = self._on_apply
         for method_name, describe in hooks.items():
             original = getattr(layer, method_name, None)
             if original is None:
@@ -119,15 +163,30 @@ class Tracer:
 
         return wrapped
 
+    def _on_apply(self, host_id: int, slot: int, request_id: int) -> None:
+        self.emit(
+            host_id,
+            "replica",
+            "apply",
+            f"slot={slot} rid={request_id}",
+            slot=slot,
+            request_id=request_id,
+        )
+
     # ------------------------------------------------------------------ #
     # recording and querying
     # ------------------------------------------------------------------ #
 
-    def emit(self, host: int, layer: str, event: str, detail: Any = "") -> None:
+    def emit(
+        self, host: int, layer: str, event: str, detail: Any = "", **extra: Any
+    ) -> None:
         if len(self.events) >= self.capacity:
             return  # bounded: a runaway trace must not eat the heap
         now = self._cluster.sim.now if self._cluster is not None else 0.0
-        self.events.append(TraceEvent(now, host, layer, event, detail))
+        ev = TraceEvent(now, host, layer, event, detail)
+        if extra:
+            ev.args.update(extra)
+        self.events.append(ev)
 
     def select(
         self,
@@ -153,6 +212,10 @@ class Tracer:
         """A printable timeline of the selected events."""
         picked = self.select(**kw)[:limit]
         return "\n".join(repr(e) for e in picked)
+
+    def to_chrome(self) -> dict[str, Any]:
+        """Chrome trace-event JSON, identical in shape to a real-run trace."""
+        return to_chrome_trace(self.events)
 
     def __len__(self) -> int:
         return len(self.events)

@@ -1,10 +1,11 @@
-"""Tests for ftlsh, the interactive FT-Linda shell."""
+"""Tests for ftlsh, the interactive FT-Linda shell and its subcommands."""
 
 import io
+import json
 
 import pytest
 
-from repro.cli import FtlShell, _parse_value
+from repro.cli import FtlShell, _parse_value, main
 
 
 @pytest.fixture
@@ -132,3 +133,52 @@ class TestParseValue:
         assert _parse_value("true") is True
         assert _parse_value("false") is False
         assert _parse_value("hello") == "hello"
+
+
+class TestMetricsSubcommand:
+    def test_json_flag_emits_parseable_snapshot(self, capsys):
+        rc = main(
+            ["metrics", "--backend", "local", "--ops", "8", "--clients", "2",
+             "--json"]
+        )
+        assert rc == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["histograms"]["ags_e2e"]["count"] >= 8
+        assert "clamped" in snap["histograms"]["ags_e2e"]
+
+    def test_human_output_still_default(self, capsys):
+        rc = main(["metrics", "--backend", "local", "--ops", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend=local" in out and "histograms:" in out
+
+
+class TestTraceSubcommand:
+    def test_local_trace_writes_valid_chrome_json(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        rc = main(
+            ["trace", "--backend", "local", "--ops", "6", "--clients", "2",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"submit_to_order", "apply", "e2e"} <= names
+        text = capsys.readouterr().out
+        assert "consistency OK" in text
+
+    def test_threaded_trace_checks_consistency(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        rc = main(
+            ["trace", "--backend", "threaded", "--replicas", "3",
+             "--ops", "6", "--clients", "2", "--out", str(out)]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        tracks = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        assert {"replica-0", "replica-1", "replica-2", "sequencer"} <= tracks
+        assert "consistency OK" in capsys.readouterr().out

@@ -83,6 +83,30 @@ class TestHistogram:
         snap = Histogram("lat").snapshot()
         assert snap["count"] == 0
         assert snap["p99"] == 0.0
+        assert snap["clamped"] == 0
+
+    def test_nan_and_negative_clamped_to_zero(self):
+        h = Histogram("lat")
+        h.record(float("nan"))
+        h.record(-1.5)
+        h.record(0.25)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["clamped"] == 2
+        # the sum is not poisoned: NaN/negative contribute exactly 0
+        assert snap["sum"] == pytest.approx(0.25)
+        assert snap["mean"] == pytest.approx(0.25 / 3)
+        assert snap["min"] == 0.0
+        assert snap["max"] == 0.25
+
+    def test_merge_propagates_clamped(self):
+        a, b = Histogram("lat"), Histogram("lat")
+        a.record(float("nan"))
+        b.record(-2.0)
+        b.record(0.5)
+        a.merge(b)
+        assert a.snapshot()["clamped"] == 2
+        assert a.snapshot()["count"] == 3
 
 
 class TestRegistry:
