@@ -117,38 +117,75 @@ def _measure(make_rt, name: str) -> dict[bool, dict[str, float]]:
     return results
 
 
-def test_batching_throughput(benchmark):
-    def run():
-        table = Table(
-            f"Command batching: out/s with {CLIENTS} concurrent clients",
-            ["backend", "mode", "blocking out/s", "pipelined out/s",
-             "mean batch", "pipelined speedup"],
-        )
-        out: dict[str, dict[bool, dict[str, float]]] = {}
-        for name, make_rt in (
-            ("threaded", lambda b: ThreadedReplicaRuntime(3, batching=b)),
-            ("multiproc", lambda b: MultiprocessRuntime(3, batching=b)),
-        ):
-            res = _measure(make_rt, name)
-            out[name] = res
-            speedup = res[True]["pipelined"] / res[False]["pipelined"]
-            table.add(name, "unbatched", res[False]["blocking"],
-                      res[False]["pipelined"], res[False]["batch"], "")
-            table.add(name, "batched", res[True]["blocking"],
-                      res[True]["pipelined"], res[True]["batch"],
-                      f"{speedup:.2f}x")
-        table.note(
-            "batching amortizes one pickle + one queue hop per replica per "
-            "command into one per batch; it pays off once the sequencer is "
-            "saturated (pipelined column), most on the multiproc backend"
-        )
-        save_table(table, "bench_batching")
-        return out
+def run_benchmark() -> dict[str, dict[bool, dict[str, float]]]:
+    """Measure both backends, save the report table, return raw numbers."""
+    table = Table(
+        f"Command batching: out/s with {CLIENTS} concurrent clients",
+        ["backend", "mode", "blocking out/s", "pipelined out/s",
+         "mean batch", "pipelined speedup"],
+    )
+    out: dict[str, dict[bool, dict[str, float]]] = {}
+    for name, make_rt in (
+        ("threaded", lambda b: ThreadedReplicaRuntime(3, batching=b)),
+        ("multiproc", lambda b: MultiprocessRuntime(3, batching=b)),
+    ):
+        res = _measure(make_rt, name)
+        out[name] = res
+        speedup = res[True]["pipelined"] / res[False]["pipelined"]
+        table.add(name, "unbatched", res[False]["blocking"],
+                  res[False]["pipelined"], res[False]["batch"], "")
+        table.add(name, "batched", res[True]["blocking"],
+                  res[True]["pipelined"], res[True]["batch"],
+                  f"{speedup:.2f}x")
+    table.note(
+        "batching amortizes one pickle + one queue hop per replica per "
+        "command into one per batch; it pays off once the sequencer is "
+        "saturated (pipelined column), most on the multiproc backend"
+    )
+    save_table(table, "bench_batching")
+    return out
 
-    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+def test_batching_throughput(benchmark):
+    out = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
     mp = out["multiproc"]
     # the headline claim: batched multiproc out-throughput beats unbatched
     assert mp[True]["pipelined"] > mp[False]["pipelined"]
     # and genuinely multi-command batches formed under pipelined fan-in
     assert mp[True]["batch"] > 1.5
     assert mp[False]["batch"] == 1.0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    from repro.bench import save_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        metavar="OUT",
+        default="BENCH_batching.json",
+        help="machine-readable results path (default: "
+        "benchmarks/results/BENCH_batching.json)",
+    )
+    opts = parser.parse_args(argv)
+    out = run_benchmark()
+    payload = {
+        "benchmark": "batching",
+        "clients": CLIENTS,
+        "ops": {"blocking": BLOCKING_OPS, "pipelined": PIPELINED_OPS},
+        "results": {
+            name: {
+                ("batched" if batching else "unbatched"): numbers
+                for batching, numbers in res.items()
+            }
+            for name, res in out.items()
+        },
+    }
+    print(f"wrote {save_json(payload, opts.json)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

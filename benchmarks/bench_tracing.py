@@ -73,42 +73,73 @@ CONFIGS = [
 ]
 
 
-def test_tracing_overhead(benchmark):
-    def run():
-        table = Table(
-            f"Flight-recorder overhead: blocking out/s, {CLIENTS} clients",
-            ["backend", "tracing", "out/s", "events", "vs off"],
-        )
-        out: dict[str, dict[str, float]] = {}
-        for name, make_rt in (
-            ("threaded", lambda t: ThreadedReplicaRuntime(3, tracer=t)),
-            ("multiproc", lambda t: MultiprocessRuntime(3, tracer=t)),
-        ):
-            per = OPS[name]
-            rates: dict[str, float] = {}
-            for label, make_tracer in CONFIGS:
-                tracer = make_tracer()
-                rt = make_rt(tracer)
-                try:
-                    rates[label] = _throughput(rt, per)
-                finally:
-                    rt.shutdown()
-                n_events = len(tracer) if tracer is not None else 0
-                table.add(
-                    name, label, rates[label], n_events,
-                    f"{rates[label] / rates['off']:.2f}x",
-                )
-            out[name] = rates
-        table.note(
-            "enabled-path cost: ~5 ring stores per AGS (submit/broadcast/"
-            "3 applies/e2e) + one batched SPANS queue item per applied "
-            "batch; disabled path is one `is None` branch per site"
-        )
-        save_table(table, "bench_tracing")
-        return out
+def run_benchmark() -> dict[str, dict[str, float]]:
+    """Measure both backends, save the report table, return raw numbers."""
+    table = Table(
+        f"Flight-recorder overhead: blocking out/s, {CLIENTS} clients",
+        ["backend", "tracing", "out/s", "events", "vs off"],
+    )
+    out: dict[str, dict[str, float]] = {}
+    for name, make_rt in (
+        ("threaded", lambda t: ThreadedReplicaRuntime(3, tracer=t)),
+        ("multiproc", lambda t: MultiprocessRuntime(3, tracer=t)),
+    ):
+        per = OPS[name]
+        rates: dict[str, float] = {}
+        for label, make_tracer in CONFIGS:
+            tracer = make_tracer()
+            rt = make_rt(tracer)
+            try:
+                rates[label] = _throughput(rt, per)
+            finally:
+                rt.shutdown()
+            n_events = len(tracer) if tracer is not None else 0
+            table.add(
+                name, label, rates[label], n_events,
+                f"{rates[label] / rates['off']:.2f}x",
+            )
+        out[name] = rates
+    table.note(
+        "enabled-path cost: ~5 ring stores per AGS (submit/broadcast/"
+        "3 applies/e2e) + one batched SPANS queue item per applied "
+        "batch; disabled path is one `is None` branch per site"
+    )
+    save_table(table, "bench_tracing")
+    return out
 
-    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+def test_tracing_overhead(benchmark):
+    out = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
     for rates in out.values():
         # enabled tracing must stay within 25% of untraced throughput
         assert rates["on"] > 0.75 * rates["off"], rates
         assert rates["on+wrap"] > 0.75 * rates["off"], rates
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    from repro.bench import save_json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        metavar="OUT",
+        default="BENCH_tracing.json",
+        help="machine-readable results path (default: "
+        "benchmarks/results/BENCH_tracing.json)",
+    )
+    opts = parser.parse_args(argv)
+    out = run_benchmark()
+    payload = {
+        "benchmark": "tracing",
+        "clients": CLIENTS,
+        "ops": OPS,
+        "results": out,
+    }
+    print(f"wrote {save_json(payload, opts.json)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,6 @@ the paper's — one labelled row per configuration — and each run saves its
 table under ``benchmarks/results/`` for EXPERIMENTS.md.
 """
 
-from repro.bench.tables import Table, results_dir, save_table
+from repro.bench.tables import Table, results_dir, save_json, save_table
 
-__all__ = ["Table", "results_dir", "save_table"]
+__all__ = ["Table", "results_dir", "save_json", "save_table"]

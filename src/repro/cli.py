@@ -11,6 +11,7 @@ Run::
     python -m repro.cli --program examples/worker.ftl
     python -m repro.cli metrics --backend multiproc --ops 500
     python -m repro.cli trace --backend multiproc --ops 100 --out trace.json
+    python -m repro.cli top --backend threaded --wedge --once
 
 The ``metrics`` subcommand drives a small tuple-churn workload on a
 chosen backend and prints the runtime's metrics snapshot (submit→order,
@@ -24,6 +25,15 @@ attached, exports the recorded spans as Chrome trace-event JSON (open
 the client tracks), runs the trace-driven replica-consistency checker
 over the per-replica apply streams, and can print a text timeline
 (``--text``).
+
+The ``top`` subcommand is the live dashboard: it enables introspection,
+drives a continuous tuple-churn workload on the chosen backend, and
+auto-refreshes a terminal view of hot templates, the waiter table (with
+stall-detector verdicts), replica queue depth/lag, and WAL size.
+``--once`` renders a single frame and exits (CI smoke / scripting);
+``--wedge`` spawns a consumer blocked on a template nobody deposits, to
+watch the stall detector fire; ``--export FILE`` also writes each frame
+as a Prometheus text-format snapshot.
 
 Commands (everything else is compiled as an FT-lcc statement)::
 
@@ -357,12 +367,134 @@ def _trace_main(argv: list[str]) -> int:
     return 0 if report.ok else 1
 
 
+def _top_main(argv: list[str]) -> int:
+    """``python -m repro.cli top``: the live introspection dashboard."""
+    import threading
+    import time
+
+    from repro.core.tuples import formal
+    from repro.obs.inspect import (
+        detect_stalls,
+        enable_introspection,
+        render_top,
+        to_prometheus,
+    )
+
+    parser = _workload_parser(
+        "ftlsh top",
+        "auto-refreshing live dashboard: hot templates, waiter table with "
+        "stall detection, replica lag, WAL size",
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0, help="refresh period in seconds"
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="frames to render before exiting (0 = until interrupted)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render exactly one frame, without clearing the screen, and exit",
+    )
+    parser.add_argument(
+        "--wedge",
+        action="store_true",
+        help="spawn a consumer blocked on a template nobody deposits "
+        "(demonstrates the stall detector)",
+    )
+    parser.add_argument(
+        "--stall-threshold",
+        type=float,
+        default=5.0,
+        help="seconds blocked with no matching out traffic before a waiter "
+        "is flagged (default: 5)",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="FILE",
+        help="also write each frame as a Prometheus text-format snapshot",
+    )
+    parser.add_argument(
+        "--wal",
+        metavar="PATH",
+        help="use a write-ahead-logged runtime at PATH (local backend only)",
+    )
+    opts = parser.parse_args(argv)
+
+    enable_introspection()  # must precede runtime construction
+    if opts.wal:
+        if opts.backend != "local":
+            parser.error("--wal requires --backend local")
+        from repro.persist.wal import WALRuntime
+
+        rt: Any = WALRuntime(opts.wal, fsync=False)
+    else:
+        rt = _build_runtime(opts)
+
+    stop = threading.Event()
+
+    def churn_forever(client: int) -> None:
+        k = 0
+        while not stop.is_set():
+            rt.out(rt.main_ts, "top-op", client, k)
+            rt.in_(rt.main_ts, "top-op", client, k)
+            k += 1
+
+    try:
+        # one synchronous burst so even --once has state worth showing
+        _run_churn(rt, opts.clients, opts.ops)
+        if opts.wedge:
+            threading.Thread(
+                target=lambda: rt.in_(
+                    rt.main_ts, "never-deposited", formal(int), process_id=999
+                ),
+                name="wedged-consumer",
+                daemon=True,
+            ).start()
+            time.sleep(0.05)  # let the guard reach the replicas and park
+        if not opts.once:
+            for c in range(opts.clients):
+                threading.Thread(
+                    target=churn_forever, args=(c,),
+                    name=f"churn-{c}", daemon=True,
+                ).start()
+        frames = 1 if opts.once else opts.iterations
+        n = 0
+        while True:
+            snap = rt.introspection_snapshot()
+            stalls = detect_stalls(snap, opts.stall_threshold)
+            frame = render_top(snap, rt.metrics_snapshot(), stalls)
+            if not opts.once:
+                sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+            print(frame)
+            sys.stdout.flush()
+            if opts.export:
+                with open(opts.export, "w") as f:
+                    f.write(to_prometheus(snap, rt.metrics_snapshot(), stalls))
+            n += 1
+            if frames and n >= frames:
+                break
+            try:
+                time.sleep(opts.interval)
+            except KeyboardInterrupt:
+                break
+    finally:
+        stop.set()
+        _shutdown(rt)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "metrics":
         return _metrics_main(argv[1:])
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "top":
+        return _top_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ftlsh", description="interactive FT-Linda shell"
     )

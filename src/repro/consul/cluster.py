@@ -255,6 +255,40 @@ class SimCluster:
             merged.merge(self.replica(hid).metrics)
         return merged.snapshot()
 
+    def introspection_snapshot(self, host_id: int | None = None) -> dict[str, Any]:
+        """Uniform live-state image of the cluster (see repro.obs.inspect).
+
+        The state-machine view comes from *host_id* (default: the lowest
+        live replica) and includes that host's volatile spaces; replica
+        rows report each host's applied count and lag against the most
+        advanced live replica.  All ages are in virtual seconds.
+        """
+        from repro.obs.inspect import empty_snapshot
+
+        snap = empty_snapshot(type(self).__name__)
+        live = self.live_hosts()
+        applied = {
+            hid: (
+                self.replica(hid).commands_applied if hid in live else None
+            )
+            for hid in self.replica_ids
+        }
+        live_counts = [a for a in applied.values() if a is not None]
+        head = max(live_counts) if live_counts else 0
+        snap["replicas"] = [
+            {
+                "id": hid,
+                "alive": hid in live,
+                "applied": applied[hid],
+                "lag": head - applied[hid] if applied[hid] is not None else None,
+            }
+            for hid in self.replica_ids
+        ]
+        source = host_id if host_id is not None else next(iter(live), None)
+        if source is not None:
+            snap["sm"] = self.replica(source).introspection()
+        return snap
+
     def converged(self) -> bool:
         """True when all live, non-recovering replicas have equal state."""
         prints = [

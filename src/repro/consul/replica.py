@@ -106,6 +106,9 @@ class ReplicaLayer(Protocol):
         self.all_hosts = sorted(all_hosts)
         self.cfg = cfg
         self.sm = TSStateMachine()
+        # Blocked-since / last-out stamps must live in virtual time, or a
+        # waiter's age would mix sim-microseconds with wall-clock seconds.
+        self.sm.clock = self._sim_clock
         self.volatile = self._fresh_volatile()
         self.waiting: dict[int, SimEvent] = {}
         self._req_counter = 0
@@ -131,12 +134,18 @@ class ReplicaLayer(Protocol):
         #: recovered host resumes counting exactly where its donor stood.
         self.trace_apply: Any | None = None
 
+    def _sim_clock(self) -> float:
+        """Virtual time in seconds (sim runs in microseconds)."""
+        return self.host.sim.now / 1e6
+
     def _fresh_volatile(self) -> TSStateMachine:
         reg = SpaceRegistry(
             create_main=False,
             first_id=_VOLATILE_ID_BASE + self.host.id * _VOLATILE_ID_SPAN,
         )
-        return TSStateMachine(reg, failure_spaces=[])
+        sm = TSStateMachine(reg, failure_spaces=[])
+        sm.clock = self._sim_clock
+        return sm
 
     # ------------------------------------------------------------------ #
     # wiring helpers
@@ -384,6 +393,12 @@ class ReplicaLayer(Protocol):
         if not self.recovering:
             return  # duplicate shipment
         self.sm = TSStateMachine.from_snapshot(snapshot["sm"])
+        # from_snapshot stamped parked statements with the default wall
+        # clock; move them (and future stamps) into virtual time
+        self.sm.clock = self._sim_clock
+        now = self._sim_clock()
+        for b in self.sm.blocked:
+            b.since = now
         ordering = self.membership.ordering
         ordering.install_recovery(
             snapshot["next_deliver"], set(snapshot["delivered_uids"])
@@ -435,3 +450,17 @@ class ReplicaLayer(Protocol):
     def space_tuples(self, handle: TSHandle):
         sm = self.sm if handle.stable else self.volatile
         return sm.registry.store(handle).to_list()
+
+    def introspection(self) -> dict[str, Any]:
+        """Merged stable + host-local volatile live-state image.
+
+        Both machines run on the sim's virtual clock, so waiter ages and
+        last-out ages are in virtual seconds.
+        """
+        now = self._sim_clock()
+        stable = self.sm.introspection(now)
+        vol = self.volatile.introspection(now)
+        stable["waiters"].extend(vol["waiters"])
+        stable["spaces"].extend(vol["spaces"])
+        stable["last_out_age"].update(vol["last_out_age"])
+        return stable

@@ -421,6 +421,45 @@ class Op:
         """Evaluate all fields to concrete values (OUT only)."""
         return tuple(f.evaluate(env) for f in self.fields)  # type: ignore[union-attr]
 
+    # -- introspection ---------------------------------------------------- #
+
+    def static_ts(self) -> TSHandle | None:
+        """The target space when it is statically known, else ``None``."""
+        value = getattr(self.ts, "value", None)
+        return value if isinstance(value, TSHandle) else None
+
+    def template_key(self) -> str:
+        """Canonical anti-tuple description of this operation's pattern.
+
+        Same rendering as :func:`repro.core.matching.pattern_key` when
+        every actual is a constant — so a waiter parked on
+        ``in(ts, "task", ?int)`` correlates with the profiler's hot
+        template ``("task", ?int)``.  Operands whose value is only known
+        at execution time (formal refs, expressions) render as ``*``.
+        """
+        from repro.core.tuples import type_name
+
+        parts = []
+        for f in self.fields:
+            if isinstance(f, Formal):
+                parts.append(f"?{type_name(f.ftype)}")
+            elif isinstance(f, Const):
+                parts.append(repr(f.value))
+            else:
+                parts.append("*")
+        return f"({', '.join(parts)})"
+
+    def correlation_key(self) -> tuple[int | None, str, int]:
+        """``(space_id, first_field, arity)`` for out-traffic correlation.
+
+        ``space_id`` is ``None`` and ``first_field`` is ``"*"`` when not
+        statically known; the stall detector treats both as wildcards.
+        """
+        ts = self.static_ts()
+        first = self.fields[0]
+        first_repr = repr(first.value) if isinstance(first, Const) else "*"
+        return (ts.id if ts is not None else None, first_repr, len(self.fields))
+
     def __repr__(self) -> str:
         inner = ", ".join(repr(f) for f in self.fields)
         if self.ts2 is not None:
@@ -607,6 +646,30 @@ class AGS:
         completes immediately.
         """
         return all(b.guard.blocking for b in self.branches)
+
+    def waiting_on(self) -> list[dict[str, Any]]:
+        """What a parked instance of this AGS is blocked on (plain data).
+
+        One entry per blocking guard: the space (named when statically
+        known), the canonical anti-tuple template, and the correlation key
+        the stall detector matches against recent ``out`` traffic.
+        """
+        out: list[dict[str, Any]] = []
+        for branch in self.branches:
+            guard = branch.guard
+            if not guard.blocking or guard.op is None:
+                continue
+            op = guard.op
+            ts = op.static_ts()
+            out.append(
+                {
+                    "op": op.code.value,
+                    "space": f"{ts.name}#{ts.id}" if ts is not None else "?",
+                    "template": op.template_key(),
+                    "key": op.correlation_key(),
+                }
+            )
+        return out
 
     def bound_names(self, branch_index: int) -> tuple[str, ...]:
         """All formal names the given branch can bind (guard + body)."""

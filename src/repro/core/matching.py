@@ -23,11 +23,19 @@ order and snapshots are equally deterministic.
 from __future__ import annotations
 
 import hashlib
+import os
 from typing import Any, Iterator, Mapping
 
-from repro.core.tuples import LindaTuple, Pattern
+from repro.core.tuples import Formal, LindaTuple, Pattern, type_name
 
-__all__ = ["Match", "TupleStore", "stable_hash"]
+__all__ = ["Match", "TupleStore", "pattern_key", "stable_hash"]
+
+#: Process-wide gate for per-template match statistics.  Off by default so
+#: the match hot path pays exactly one ``is not None`` branch; flipped by
+#: :func:`repro.obs.inspect.enable_introspection`, which also exports
+#: ``REPRO_INTROSPECT=1`` so spawned replica processes (multiproc backend)
+#: come up instrumented too — this module reads the variable at import.
+STATS_ENABLED = os.environ.get("REPRO_INTROSPECT", "") == "1"
 
 
 def stable_hash(obj: Any) -> int:
@@ -62,6 +70,32 @@ def _hashable(value: Any) -> bool:
     return True
 
 
+def pattern_key(pattern: Pattern) -> str:
+    """Canonical template string of *pattern* for the match profiler.
+
+    Actuals render as their repr, formals as ``?typename`` with names
+    stripped — so ``in(ts, "task", ?x:int)`` and ``in(ts, "task", ?y:int)``
+    profile as the same hot template ``("task", ?int)``, matching the
+    static keys :meth:`repro.core.ags.Op.template_key` derives for parked
+    guards.
+    """
+    parts = [
+        f"?{type_name(f.ftype)}" if isinstance(f, Formal) else repr(f)
+        for f in pattern.fields
+    ]
+    return f"({', '.join(parts)})"
+
+
+class _StoreStats:
+    """Per-store match-profiler state (exists only when introspection is on)."""
+
+    __slots__ = ("attempts", "hits")
+
+    def __init__(self) -> None:
+        self.attempts: dict[str, int] = {}
+        self.hits: dict[str, int] = {}
+
+
 class TupleStore:
     """A multiset of tuples with indexed, deterministic associative lookup.
 
@@ -70,7 +104,7 @@ class TupleStore:
     machine and runtimes.
     """
 
-    __slots__ = ("_next_seq", "_by_sig", "_key_index", "_size")
+    __slots__ = ("_next_seq", "_by_sig", "_key_index", "_size", "_stats")
 
     def __init__(self) -> None:
         self._next_seq = 0
@@ -79,6 +113,7 @@ class TupleStore:
         # (signature, first-field value) -> {seqno: tuple}
         self._key_index: dict[tuple[tuple[str, ...], Any], dict[int, LindaTuple]] = {}
         self._size = 0
+        self._stats = _StoreStats() if STATS_ENABLED else None
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -189,6 +224,12 @@ class TupleStore:
                 if pattern.matches(tup):
                     best_seq, best_tup, best_sig = seqno, tup, sig
                     break
+        st = self._stats
+        if st is not None:
+            key = pattern_key(pattern)
+            st.attempts[key] = st.attempts.get(key, 0) + 1
+            if best_seq is not None:
+                st.hits[key] = st.hits.get(key, 0) + 1
         if best_seq is None:
             return None
         assert best_tup is not None and best_sig is not None
@@ -204,6 +245,12 @@ class TupleStore:
                 if pattern.matches(tup):
                     hits.append((seqno, sig, tup))
         hits.sort(key=lambda h: h[0])
+        st = self._stats
+        if st is not None:
+            key = pattern_key(pattern)
+            st.attempts[key] = st.attempts.get(key, 0) + 1
+            if hits:
+                st.hits[key] = st.hits.get(key, 0) + 1
         if remove:
             for seqno, sig, tup in hits:
                 self._remove_entry(sig, seqno, tup)
@@ -267,6 +314,45 @@ class TupleStore:
             store._size += 1
         store._next_seq = snap["next_seq"]
         return store
+
+    def introspect(self) -> dict[str, Any]:
+        """Live-state image for the introspection layer (plain data).
+
+        Occupancy and byte gauges are computed on demand — the hot path
+        never maintains them — so a dashboard refresh costs one pass over
+        the store, not every ``out`` a bookkeeping write.  ``skew`` is
+        max-bucket / mean-bucket: 1.0 means perfectly balanced signature
+        buckets, large values mean one signature dominates and untyped
+        scans degrade toward linear.
+        """
+        sizes = [len(b) for b in self._by_sig.values()]
+        n_buckets = len(sizes)
+        max_bucket = max(sizes) if sizes else 0
+        mean_bucket = self._size / n_buckets if n_buckets else 0.0
+        st = self._stats
+        templates = []
+        if st is not None:
+            for key, attempts in st.attempts.items():
+                templates.append(
+                    {
+                        "template": key,
+                        "attempts": attempts,
+                        "hits": st.hits.get(key, 0),
+                    }
+                )
+            templates.sort(key=lambda t: (-t["attempts"], t["template"]))
+        nbytes = 0
+        for bucket in self._by_sig.values():
+            for tup in bucket.values():
+                nbytes += len(repr(tup.fields))
+        return {
+            "tuples": self._size,
+            "bytes": nbytes,
+            "buckets": n_buckets,
+            "max_bucket": max_bucket,
+            "skew": (max_bucket / mean_bucket) if mean_bucket else 0.0,
+            "templates": templates,
+        }
 
     def fingerprint(self) -> int:
         """Order-sensitive hash of (seqno, fields) pairs.

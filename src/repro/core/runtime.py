@@ -164,6 +164,18 @@ class BaseRuntime(abc.ABC):
         metrics = getattr(self, "metrics", None)
         return metrics.snapshot() if metrics is not None else {}
 
+    def introspection_snapshot(self) -> dict[str, Any]:
+        """Uniform live-state image: spaces, hot templates, waiters, replicas.
+
+        Every backend returns the same plain-data shape (see
+        :func:`repro.obs.inspect.empty_snapshot`) so the stall detector,
+        Prometheus exporter, and ``cli top`` dashboard work unchanged on
+        any of them.  The base implementation reports an empty image.
+        """
+        from repro.obs.inspect import empty_snapshot
+
+        return empty_snapshot(type(self).__name__)
+
     # ------------------------------------------------------------------ #
     # the Linda operations (single-op AGS sugar)
     # ------------------------------------------------------------------ #
@@ -563,6 +575,19 @@ class LocalRuntime(BaseRuntime):
     @property
     def state_machine(self) -> TSStateMachine:
         return self._sm
+
+    def introspection_snapshot(self) -> dict[str, Any]:
+        from repro.obs.inspect import empty_snapshot
+
+        snap = empty_snapshot(type(self).__name__)
+        with self._lock:
+            snap["sm"] = self._sm.introspection()
+            snap["wal_bytes"] = self._wal_bytes()
+        return snap
+
+    def _wal_bytes(self) -> int | None:
+        """WAL size gauge; overridden by the persistent runtime."""
+        return None
 
     def space_size(self, handle: TSHandle) -> int:
         with self._lock:

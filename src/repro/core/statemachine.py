@@ -39,9 +39,11 @@ order).
 
 from __future__ import annotations
 
+import time
 from typing import Any, Mapping, Sequence
 
 from repro._errors import FormalBindingError, SpaceError, TupleError
+from repro.core import matching as _matching
 from repro.core.ags import AGS, AGSResult, GuardKind, Op, OpCode
 from repro.core.matching import TupleStore
 from repro.core.spaces import MAIN_TS, Resilience, Scope, SpaceRegistry, TSHandle
@@ -193,12 +195,19 @@ class Completion:
 
 
 class _Blocked:
-    """A parked ExecuteAGS awaiting a guard match."""
+    """A parked ExecuteAGS awaiting a guard match.
 
-    __slots__ = ("command",)
+    ``since`` is the machine's local clock reading at park time.  It is
+    observability metadata, NOT replicated state: replicas stamp their own
+    local times, it is excluded from snapshots and fingerprints, and no
+    state transition ever reads it — so the determinism contract holds.
+    """
 
-    def __init__(self, command: ExecuteAGS):
+    __slots__ = ("command", "since")
+
+    def __init__(self, command: ExecuteAGS, since: float = 0.0):
         self.command = command
+        self.since = since
 
 
 class TSStateMachine:
@@ -230,6 +239,13 @@ class TSStateMachine:
         self.blocked: list[_Blocked] = []
         self.applied_count = 0
         self.op_counts: dict[str, int] | None = {} if op_stats else None
+        #: Local clock used for waiter/last-out stamps only (never state
+        #: transitions).  The simulated cluster repoints it at virtual time.
+        self.clock = time.monotonic
+        #: (space_id, first_field_repr, arity) -> clock reading of the most
+        #: recent deposit.  Only maintained while introspection is enabled;
+        #: local observability data, not part of snapshots or fingerprints.
+        self.last_out: dict[tuple[int, str, int], float] = {}
 
     # ------------------------------------------------------------------ #
     # command dispatch
@@ -246,7 +262,7 @@ class TSStateMachine:
         if isinstance(command, ExecuteAGS):
             result = self._try_execute(command.ags, command.process_id)
             if result is None:
-                self.blocked.append(_Blocked(command))
+                self.blocked.append(_Blocked(command, self.clock()))
             else:
                 completions.append(
                     Completion(
@@ -430,6 +446,8 @@ class TSStateMachine:
                 raise _BodyAbort(str(exc)) from None
             seqno = store.add(tup)
             undo.append(("added", store, seqno, tup))
+            if _matching.STATS_ENABLED:
+                self._note_out(op.ts.evaluate(env), tup)
         elif code in (OpCode.IN, OpCode.RD, OpCode.INP, OpCode.RDP):
             store = self._resolve_ts(op.ts, env, process_id)
             pattern = op.resolve_pattern(env)
@@ -455,11 +473,75 @@ class TSStateMachine:
             if code is OpCode.MOVE:
                 for m in matches:
                     undo.append(("removed", src, m.seqno, m.tup))
+            note_outs = _matching.STATS_ENABLED and matches
+            dst_handle = op.ts2.evaluate(env) if note_outs else None
             for m in matches:
                 seqno = dst.add(m.tup)
                 undo.append(("added", dst, seqno, m.tup))
+                if note_outs:
+                    self._note_out(dst_handle, m.tup)
         else:  # pragma: no cover - defensive
             raise _BodyAbort(f"opcode {code.value} is not executable in a body")
+
+    def _note_out(self, handle: Any, tup: LindaTuple) -> None:
+        """Record deposit traffic for the stall detector (introspection on)."""
+        if isinstance(handle, TSHandle):
+            self.last_out[(handle.id, repr(tup.fields[0]), len(tup.fields))] = (
+                self.clock()
+            )
+
+    # ------------------------------------------------------------------ #
+    # introspection (the waiter registry + live-state image)
+    # ------------------------------------------------------------------ #
+
+    def waiters(self, now: float | None = None) -> list[dict[str, Any]]:
+        """Every parked statement: who is blocked, on what, for how long.
+
+        Plain data (picklable) so the same image travels the in-band query
+        path from replica processes.  ``blocked_for`` is an age in seconds
+        relative to this machine's local clock — ages, unlike absolute
+        stamps, compare meaningfully across process and clock domains.
+        """
+        t = self.clock() if now is None else now
+        return [
+            {
+                "request_id": b.command.request_id,
+                "origin_host": b.command.origin_host,
+                "process_id": b.command.process_id,
+                "blocked_for": max(t - b.since, 0.0),
+                "waiting_on": b.command.ags.waiting_on(),
+            }
+            for b in self.blocked
+        ]
+
+    def introspection(self, now: float | None = None) -> dict[str, Any]:
+        """Live-state image: spaces, hot templates, waiters, out traffic.
+
+        Everything is computed on demand from current state — the apply
+        hot path maintains nothing beyond the gated match counters and
+        ``last_out`` stamps — and returned as plain data.
+        """
+        t = self.clock() if now is None else now
+        spaces = []
+        for handle, store in self.registry:
+            info = store.introspect()
+            info.update(
+                {
+                    "id": handle.id,
+                    "name": handle.name,
+                    "resilience": handle.resilience.value,
+                    "scope": handle.scope.value,
+                }
+            )
+            spaces.append(info)
+        return {
+            "applied": self.applied_count,
+            "waiters": self.waiters(t),
+            "spaces": spaces,
+            "last_out_age": {
+                key: max(t - stamp, 0.0) for key, stamp in self.last_out.items()
+            },
+        }
 
     @staticmethod
     def _rollback(undo: list[tuple]) -> None:
@@ -499,8 +581,9 @@ class TSStateMachine:
     @classmethod
     def from_snapshot(cls, snap: Mapping[str, Any], **kwargs: Any) -> "TSStateMachine":
         sm = cls(SpaceRegistry.from_snapshot(snap["registry"]), **kwargs)
+        t_install = sm.clock()  # waiter ages restart at install time
         sm.blocked = [
-            _Blocked(ExecuteAGS(rid, host, pid, ags))
+            _Blocked(ExecuteAGS(rid, host, pid, ags), t_install)
             for rid, host, pid, ags in snap["blocked"]
         ]
         sm.applied_count = snap["applied_count"]

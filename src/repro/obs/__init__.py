@@ -8,10 +8,20 @@ the one metrics implementation all runtimes share
 that makes the replication pipeline visible span by span
 (:mod:`repro.obs.tracing`), and the trace-driven replica-consistency
 checker built on top of the recorded apply streams
-(:mod:`repro.obs.check`).
+(:mod:`repro.obs.check`), and the live state-introspection layer — waiter
+registry, hot-template profiler, stall detector, Prometheus exporter —
+behind ``python -m repro.cli top`` (:mod:`repro.obs.inspect`).
 """
 
 from repro.obs.check import ConsistencyReport, check_consistency
+from repro.obs.inspect import (
+    detect_stalls,
+    disable_introspection,
+    enable_introspection,
+    introspection_enabled,
+    render_top,
+    to_prometheus,
+)
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry, format_snapshot
 from repro.obs.tracing import FlightRecorder, SpanEvent, render_events, to_chrome_trace
 
@@ -23,7 +33,13 @@ __all__ = [
     "MetricsRegistry",
     "SpanEvent",
     "check_consistency",
+    "detect_stalls",
+    "disable_introspection",
+    "enable_introspection",
     "format_snapshot",
+    "introspection_enabled",
     "render_events",
+    "render_top",
     "to_chrome_trace",
+    "to_prometheus",
 ]

@@ -1,0 +1,452 @@
+"""Live tuple-space introspection: "why is it stuck, where is it hot".
+
+Metrics (PR 1) aggregate latencies; traces (PR 2) replay events after the
+fact.  Neither answers the operator's *state* questions: which templates
+are hot, which processes sit blocked on which anti-tuples, whether a
+replica lags, why a bag-of-tasks run has silently wedged.  Buravlev et
+al. (PAPERS.md) show match-path contention and data distribution dominate
+tuple-space performance, and De Florio's fault-tolerance work argues the
+key runtime recovery signal is a *stalled guard* — both are state, not
+event, observations.  This module is that layer:
+
+- :func:`enable_introspection` — one process-wide switch.  Off (default)
+  the match path pays a single ``is not None`` branch and the apply path
+  one module-attribute check; on, every :class:`~repro.core.matching.
+  TupleStore` counts match attempts/hits per canonical template and every
+  :class:`~repro.core.statemachine.TSStateMachine` stamps deposit traffic
+  for the stall detector.  The switch exports ``REPRO_INTROSPECT=1`` so
+  replica processes spawned afterwards come up instrumented too;
+
+- **snapshots** — every runtime exposes ``introspection_snapshot()``
+  returning one uniform plain-data shape (see :func:`empty_snapshot`),
+  assembled from ``TSStateMachine.introspection()`` images that ride the
+  existing in-band query path on the replicated backends — so a snapshot
+  reflects the exact state after everything sequenced before it;
+
+- :func:`detect_stalls` — flags waiters blocked beyond a threshold with
+  no recent matching ``out`` traffic on their templates ("suspected
+  deadlock/starvation"); a blocked waiter whose template IS being fed is
+  contention, not a stall, and is not flagged;
+
+- :func:`to_prometheus` — the merged snapshot (plus the runtime's metrics
+  registry) in the Prometheus text exposition format;
+
+- :func:`render_top` — the terminal dashboard behind
+  ``python -m repro.cli top``.
+
+Ages, not absolute stamps: every snapshot reports ``blocked_for`` and
+``last_out_age`` in seconds relative to the producing machine's clock, so
+images from replica OS processes and the virtual-time simulator compare
+without clock-domain conversions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping
+
+from repro.core import matching as _matching
+
+__all__ = [
+    "detect_stalls",
+    "disable_introspection",
+    "empty_snapshot",
+    "enable_introspection",
+    "introspection_enabled",
+    "render_top",
+    "to_prometheus",
+]
+
+_ENV_FLAG = "REPRO_INTROSPECT"
+
+
+def enable_introspection() -> None:
+    """Turn on per-template match stats and out-traffic stamps.
+
+    Takes effect for tuple stores and state machines created *after* the
+    call — enable before constructing the runtime.  Exported through the
+    environment so replica processes spawned later inherit the setting.
+    """
+    _matching.STATS_ENABLED = True
+    os.environ[_ENV_FLAG] = "1"
+
+
+def disable_introspection() -> None:
+    """Revert :func:`enable_introspection` (existing stores keep counting)."""
+    _matching.STATS_ENABLED = False
+    os.environ.pop(_ENV_FLAG, None)
+
+
+def introspection_enabled() -> bool:
+    return _matching.STATS_ENABLED
+
+
+def empty_snapshot(backend: str) -> dict[str, Any]:
+    """The uniform introspection-snapshot shape every backend fills in."""
+    return {
+        "backend": backend,
+        "sm": {"applied": 0, "waiters": [], "spaces": [], "last_out_age": {}},
+        "replicas": [],
+        "pending": 0,
+        "wal_bytes": None,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# stall detection
+# --------------------------------------------------------------------------- #
+
+
+def _key_matches(
+    waiter_key: tuple[Any, ...], out_key: tuple[Any, ...]
+) -> bool:
+    """Does a waiter's (space, first, arity) key match a deposit's?
+
+    The waiter side may carry wildcards: ``None`` for a space handle only
+    known at execution time, ``"*"`` for a non-constant first field.
+    """
+    w_ts, w_first, w_arity = waiter_key
+    o_ts, o_first, o_arity = out_key
+    if w_arity != o_arity:
+        return False
+    if w_ts is not None and w_ts != o_ts:
+        return False
+    return w_first == "*" or w_first == o_first
+
+
+def detect_stalls(
+    snapshot: Mapping[str, Any], threshold: float
+) -> list[dict[str, Any]]:
+    """Waiters blocked ≥ *threshold* s with no recent matching deposits.
+
+    A waiter is **stalled** when every template it is parked on has seen
+    no matching ``out``/``move``/``copy`` deposit within the last
+    *threshold* seconds — nobody is feeding it, so it will not wake
+    without intervention (suspected deadlock or starvation, De Florio's
+    recovery trigger).  Requires introspection to have been enabled while
+    the traffic happened; with stats off, ``last_out_age`` is empty and
+    any waiter past the threshold is flagged (conservative).
+    """
+    sm = snapshot.get("sm", {})
+    last_out = {
+        tuple(k): age for k, age in sm.get("last_out_age", {}).items()
+    }
+    stalls: list[dict[str, Any]] = []
+    for w in sm.get("waiters", []):
+        if w["blocked_for"] < threshold:
+            continue
+        fed = False
+        for entry in w.get("waiting_on", []):
+            key = tuple(entry["key"])
+            for out_key, age in last_out.items():
+                if age <= threshold and _key_matches(key, out_key):
+                    fed = True
+                    break
+            if fed:
+                break
+        if not fed:
+            templates = [
+                f"{e['op']} {e['space']} {e['template']}"
+                for e in w.get("waiting_on", [])
+            ]
+            stalls.append(
+                {
+                    **{k: w[k] for k in (
+                        "request_id", "origin_host", "process_id", "blocked_for"
+                    )},
+                    "templates": templates,
+                    "reason": (
+                        "suspected deadlock/starvation: blocked "
+                        f"{w['blocked_for']:.2f}s with no matching out "
+                        f"traffic in the last {threshold:g}s"
+                    ),
+                }
+            )
+    return stalls
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition
+# --------------------------------------------------------------------------- #
+
+
+def _escape_label(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(**labels: Any) -> str:
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in labels.items())
+    return f"{{{inner}}}"
+
+
+def _histogram_lines(name: str, snap: Mapping[str, Any]) -> list[str]:
+    """One metrics-layer histogram as a Prometheus histogram family."""
+    base = f"linda_{name}_seconds"
+    lines = [
+        f"# HELP {base} {name} latency histogram",
+        f"# TYPE {base} histogram",
+    ]
+    bounds: list[tuple[float, int]] = []
+    overflow = 0
+    for bucket, n in snap.get("buckets", {}).items():
+        if bucket == "overflow":
+            overflow = n
+        else:
+            bounds.append((float(bucket[len("le_"):]), n))
+    bounds.sort()
+    cum = 0
+    for le, n in bounds:
+        cum += n
+        lines.append(f'{base}_bucket{{le="{le:g}"}} {cum}')
+    lines.append(f'{base}_bucket{{le="+Inf"}} {cum + overflow}')
+    lines.append(f"{base}_sum {snap.get('sum', 0.0):.9g}")
+    lines.append(f"{base}_count {snap.get('count', 0)}")
+    return lines
+
+
+def to_prometheus(
+    snapshot: Mapping[str, Any],
+    metrics: Mapping[str, Any] | None = None,
+    stalls: list[dict[str, Any]] | None = None,
+) -> str:
+    """Render an introspection snapshot in Prometheus text format.
+
+    *metrics* is an optional :meth:`~repro.obs.metrics.MetricsRegistry.
+    snapshot` merged in as counter/histogram families; *stalls* an
+    optional :func:`detect_stalls` result exported as a gauge.
+    """
+    sm = snapshot.get("sm", {})
+    lines: list[str] = []
+
+    def family(name: str, mtype: str, help_: str) -> None:
+        lines.append(f"# HELP linda_{name} {help_}")
+        lines.append(f"# TYPE linda_{name} {mtype}")
+
+    family("space_tuples", "gauge", "live tuples per space")
+    for sp in sm.get("spaces", []):
+        label = _labels(space=f"{sp['name']}#{sp['id']}")
+        lines.append(f"linda_space_tuples{label} {sp['tuples']}")
+    family("space_bytes", "gauge", "approximate bytes of tuple data per space")
+    for sp in sm.get("spaces", []):
+        label = _labels(space=f"{sp['name']}#{sp['id']}")
+        lines.append(f"linda_space_bytes{label} {sp['bytes']}")
+    family("space_bucket_skew", "gauge",
+           "max/mean signature-bucket occupancy (1.0 = balanced)")
+    for sp in sm.get("spaces", []):
+        label = _labels(space=f"{sp['name']}#{sp['id']}")
+        lines.append(f"linda_space_bucket_skew{label} {sp['skew']:.6g}")
+
+    family("template_match_attempts_total", "counter",
+           "match attempts per canonical template")
+    family_hits = []
+    for sp in sm.get("spaces", []):
+        space = f"{sp['name']}#{sp['id']}"
+        for t in sp.get("templates", []):
+            label = _labels(space=space, template=t["template"])
+            lines.append(
+                f"linda_template_match_attempts_total{label} {t['attempts']}"
+            )
+            family_hits.append(
+                f"linda_template_match_hits_total{label} {t['hits']}"
+            )
+    family("template_match_hits_total", "counter",
+           "successful matches per canonical template")
+    lines.extend(family_hits)
+
+    waiters = sm.get("waiters", [])
+    family("waiters", "gauge", "statements parked on a blocking guard")
+    lines.append(f"linda_waiters {len(waiters)}")
+    family("waiter_blocked_seconds", "gauge", "age of each parked statement")
+    for w in waiters:
+        templates = ";".join(
+            e["template"] for e in w.get("waiting_on", [])
+        ) or "?"
+        label = _labels(
+            request_id=w["request_id"],
+            process=w["process_id"],
+            template=templates,
+        )
+        lines.append(
+            f"linda_waiter_blocked_seconds{label} {w['blocked_for']:.6f}"
+        )
+    if stalls is not None:
+        family("stalled_waiters", "gauge",
+               "waiters flagged by the stall detector")
+        lines.append(f"linda_stalled_waiters {len(stalls)}")
+
+    replicas = snapshot.get("replicas", [])
+    family("replica_alive", "gauge", "1 when the replica is live")
+    for r in replicas:
+        lines.append(
+            f"linda_replica_alive{_labels(replica=r['id'])} "
+            f"{1 if r.get('alive') else 0}"
+        )
+    family("replica_applied_total", "counter", "commands applied per replica")
+    for r in replicas:
+        if r.get("applied") is not None:
+            lines.append(
+                f"linda_replica_applied_total{_labels(replica=r['id'])} "
+                f"{r['applied']}"
+            )
+    family("replica_lag", "gauge",
+           "commands behind the most advanced live replica")
+    for r in replicas:
+        if r.get("lag") is not None:
+            lines.append(
+                f"linda_replica_lag{_labels(replica=r['id'])} {r['lag']}"
+            )
+
+    family("pending_commands", "gauge", "submissions queued at the sequencer")
+    lines.append(f"linda_pending_commands {snapshot.get('pending', 0)}")
+    if snapshot.get("wal_bytes") is not None:
+        family("wal_bytes", "gauge", "write-ahead log size on disk")
+        lines.append(f"linda_wal_bytes {snapshot['wal_bytes']}")
+
+    if metrics:
+        for name, value in metrics.get("counters", {}).items():
+            family(f"{name}_total", "counter", f"{name} counter")
+            lines.append(f"linda_{name}_total {value}")
+        for name, h in metrics.get("histograms", {}).items():
+            lines.extend(_histogram_lines(name, h))
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------- #
+# the `linda top` terminal dashboard
+# --------------------------------------------------------------------------- #
+
+
+def _fmt_bytes(n: int | None) -> str:
+    if n is None:
+        return "-"
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024 or unit == "GB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024
+    return f"{n:.1f}GB"  # pragma: no cover - unreachable
+
+
+def _fmt_age(seconds: float) -> str:
+    if seconds < 10:
+        return f"{seconds:.2f}s"
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    return f"{seconds / 60:.1f}m"
+
+
+def render_top(
+    snapshot: Mapping[str, Any],
+    metrics: Mapping[str, Any] | None = None,
+    stalls: list[dict[str, Any]] | None = None,
+    *,
+    max_rows: int = 10,
+) -> str:
+    """Render one dashboard frame (pure string; the CLI owns the refresh)."""
+    sm = snapshot.get("sm", {})
+    waiters = sm.get("waiters", [])
+    stalled_ids = {s["request_id"] for s in (stalls or [])}
+    lines: list[str] = []
+    head = (
+        f"linda top — backend={snapshot.get('backend', '?')}  "
+        f"applied={sm.get('applied', 0)}  "
+        f"pending={snapshot.get('pending', 0)}  "
+        f"waiters={len(waiters)}  stalled={len(stalled_ids)}"
+    )
+    if snapshot.get("wal_bytes") is not None:
+        head += f"  wal={_fmt_bytes(snapshot['wal_bytes'])}"
+    lines.append(head)
+
+    replicas = snapshot.get("replicas", [])
+    if replicas:
+        lines.append("")
+        lines.append(f"{'REPLICA':>8} {'ALIVE':>6} {'APPLIED':>9} {'LAG':>6}")
+        for r in replicas:
+            lines.append(
+                f"{r['id']:>8} {('yes' if r.get('alive') else 'NO'):>6} "
+                f"{(r['applied'] if r.get('applied') is not None else '-'):>9} "
+                f"{(r['lag'] if r.get('lag') is not None else '-'):>6}"
+            )
+
+    spaces = sm.get("spaces", [])
+    if spaces:
+        lines.append("")
+        lines.append(
+            f"{'SPACE':<16} {'TUPLES':>8} {'BYTES':>9} {'BUCKETS':>8} "
+            f"{'MAXBKT':>7} {'SKEW':>6}"
+        )
+        for sp in spaces[:max_rows]:
+            lines.append(
+                f"{sp['name'] + '#' + str(sp['id']):<16} {sp['tuples']:>8} "
+                f"{_fmt_bytes(sp['bytes']):>9} {sp['buckets']:>8} "
+                f"{sp['max_bucket']:>7} {sp['skew']:>6.2f}"
+            )
+
+    hot: list[tuple[str, dict[str, Any]]] = []
+    for sp in spaces:
+        for t in sp.get("templates", []):
+            hot.append((f"{sp['name']}#{sp['id']}", t))
+    hot.sort(key=lambda pair: -pair[1]["attempts"])
+    if hot:
+        lines.append("")
+        lines.append(
+            f"{'HOT TEMPLATE':<40} {'SPACE':<12} {'ATTEMPTS':>9} "
+            f"{'HITS':>8} {'HIT%':>6}"
+        )
+        for space, t in hot[:max_rows]:
+            pct = 100.0 * t["hits"] / t["attempts"] if t["attempts"] else 0.0
+            lines.append(
+                f"{t['template']:<40.40} {space:<12} {t['attempts']:>9} "
+                f"{t['hits']:>8} {pct:>5.1f}%"
+            )
+
+    if waiters:
+        lines.append("")
+        lines.append(
+            f"{'WAITER':>8} {'PROC':>6} {'HOST':>6} {'BLOCKED':>9}  BLOCKED ON"
+        )
+        for w in sorted(waiters, key=lambda w: -w["blocked_for"])[:max_rows]:
+            what = "; ".join(
+                f"{e['op']} {e['space']} {e['template']}"
+                for e in w.get("waiting_on", [])
+            ) or "?"
+            flag = "  ** STALLED **" if w["request_id"] in stalled_ids else ""
+            lines.append(
+                f"{w['request_id']:>8} {w['process_id']:>6} "
+                f"{w['origin_host']:>6} {_fmt_age(w['blocked_for']):>9}  "
+                f"{what}{flag}"
+            )
+    else:
+        lines.append("")
+        lines.append("(no blocked statements)")
+
+    if stalls:
+        lines.append("")
+        for s in stalls[:max_rows]:
+            lines.append(f"!! waiter #{s['request_id']}: {s['reason']}")
+
+    if metrics:
+        hists = metrics.get("histograms", {})
+        shown = [
+            (name, h)
+            for name, h in sorted(hists.items())
+            if h.get("count") and name in (
+                "ags_e2e", "submit_to_order", "order_to_apply", "batch_size"
+            )
+        ]
+        if shown:
+            lines.append("")
+            lines.append(
+                f"{'LATENCY':<16} {'N':>8} {'MEAN':>10} {'P50':>10} "
+                f"{'P95':>10} {'P99':>10}"
+            )
+            for name, h in shown:
+                lines.append(
+                    f"{name:<16} {h['count']:>8} {h['mean']:>10.6f} "
+                    f"{h['p50']:>10.6f} {h['p95']:>10.6f} {h['p99']:>10.6f}"
+                )
+    return "\n".join(lines)

@@ -121,11 +121,19 @@ class Histogram:
         return self._sum / self._count if self._count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Upper bound of the bucket holding the q-th fraction of samples."""
+        """Upper bound of the bucket holding the q-th fraction of samples.
+
+        Empty histograms (including ones built purely from empty merges)
+        consistently report 0.0, like :attr:`mean` — callers never need a
+        ``count()`` guard.
+        """
         with self._lock:
             if not self._count:
                 return 0.0
-            target = q * self._count
+            # at least one sample must be at or below the answer: without
+            # the floor, q=0 would "satisfy" the first bucket with zero
+            # samples seen and report bounds[0] regardless of the data
+            target = max(q * self._count, 1.0)
             seen = 0
             for i, n in enumerate(self._buckets):
                 seen += n

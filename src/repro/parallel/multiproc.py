@@ -136,6 +136,9 @@ class MultiprocessRuntime(BaseRuntime):
     def space_size(self, handle: TSHandle) -> int:
         return self.group.space_size(handle)
 
+    def introspection_snapshot(self) -> dict:
+        return self.group.introspection_snapshot(type(self).__name__)
+
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #

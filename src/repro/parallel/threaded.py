@@ -117,5 +117,8 @@ class ThreadedReplicaRuntime(BaseRuntime):
     def space_size(self, handle: TSHandle) -> int:
         return self.group.space_size(handle)
 
+    def introspection_snapshot(self) -> dict:
+        return self.group.introspection_snapshot(type(self).__name__)
+
     def shutdown(self) -> None:
         self.group.shutdown()

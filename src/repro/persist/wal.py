@@ -108,6 +108,12 @@ class WALRuntime(LocalRuntime):
     def _sm(self, machine) -> None:
         object.__setattr__(self, "_logging_sm", _LoggingSM(self, machine))
 
+    def _wal_bytes(self) -> int | None:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return None
+
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #

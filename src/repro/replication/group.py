@@ -430,6 +430,39 @@ class ReplicaGroup:
     def metrics_snapshot(self) -> dict[str, Any]:
         return self.metrics.snapshot()
 
+    def introspection_snapshot(self, backend: str = "ReplicaGroup") -> dict[str, Any]:
+        """Merged live-state image: one replica's SM view + group health.
+
+        The state-machine image (spaces, waiters, last-out ages) comes
+        from the lowest-numbered live replica via the in-band query path,
+        so it reflects everything sequenced before the call.  Per-replica
+        applied counts give queue lag; the pending deque gives sequencer
+        depth.
+        """
+        from repro.obs.inspect import empty_snapshot
+
+        snap = empty_snapshot(backend)
+        applied: dict[int, int | None] = {}
+        for i in range(self.n_replicas):
+            applied[i] = self.query(i, "applied") if self.alive[i] else None
+        live_counts = [a for a in applied.values() if a is not None]
+        head = max(live_counts) if live_counts else 0
+        snap["replicas"] = [
+            {
+                "id": i,
+                "alive": self.alive[i],
+                "applied": applied[i],
+                "lag": head - applied[i] if applied[i] is not None else None,
+            }
+            for i in range(self.n_replicas)
+        ]
+        live = self.live_replicas()
+        if live:
+            snap["sm"] = self.query(live[0], "introspect")
+        with self._pending_lock:
+            snap["pending"] = len(self._pending)
+        return snap
+
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #

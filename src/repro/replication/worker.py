@@ -112,6 +112,8 @@ def replica_loop(
                 answer = applied
             elif what == "blocked":
                 answer = len(sm.blocked)
+            elif what == "introspect":
+                answer = sm.introspection()
             else:
                 answer = None
             emit(("QUERY", qid, replica_id, answer))

@@ -85,6 +85,38 @@ class TestHistogram:
         assert snap["p99"] == 0.0
         assert snap["clamped"] == 0
 
+    def test_empty_mean_and_quantiles_consistent_zero(self):
+        # callers must never need a count() guard: every statistic of an
+        # empty histogram is exactly 0.0, at any q
+        h = Histogram("lat")
+        assert h.mean == 0.0
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == 0.0
+
+    def test_empty_merge_stays_empty(self):
+        a, b = Histogram("lat"), Histogram("lat")
+        a.merge(b)  # empty into empty
+        assert a.mean == 0.0
+        assert a.quantile(0.99) == 0.0
+        snap = a.snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+        assert snap["buckets"] == {}
+
+    def test_merging_empty_changes_nothing(self):
+        a, b = Histogram("lat"), Histogram("lat")
+        a.record(0.25)
+        before = a.snapshot()
+        a.merge(b)  # empty into non-empty: min/max/quantiles untouched
+        assert a.snapshot() == before
+
+    def test_quantile_zero_reflects_data_not_first_bound(self):
+        # q=0 must resolve to a bucket that actually holds a sample, not
+        # fall through to bounds[0] on an empty first bucket
+        h = Histogram("lat", lo=1.0, factor=2.0, n_buckets=8)
+        h.record(100.0)  # le_128 only
+        assert h.quantile(0.0) == 128.0
+
     def test_nan_and_negative_clamped_to_zero(self):
         h = Histogram("lat")
         h.record(float("nan"))

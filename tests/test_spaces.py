@@ -59,6 +59,29 @@ class TestLifecycle:
         assert len(doomed) == 2
         assert reg.exists(keep)
 
+    def test_destroy_owned_by_spares_shared_spaces(self, reg):
+        # owner is normalized to None for shared spaces at creation, so a
+        # process's exit must never take a shared space down with it
+        shared = reg.create("s", Resilience.STABLE, Scope.SHARED, owner=3)
+        private = reg.create("p", Resilience.STABLE, Scope.PRIVATE, owner=3)
+        doomed = reg.destroy_owned_by(3)
+        assert doomed == [private]
+        assert reg.exists(shared)
+        assert not reg.exists(private)
+
+    def test_destroy_owned_by_unknown_owner_is_noop(self, reg):
+        reg.create("p", Resilience.STABLE, Scope.PRIVATE, owner=3)
+        assert reg.destroy_owned_by(99) == []
+        assert len(reg) == 2
+
+    def test_destroy_owned_by_returns_destroyable_handles(self, reg):
+        # returned handles must already be dead: destroying them again
+        # (e.g. a double process-exit notification) raises, not corrupts
+        reg.create("p", Resilience.STABLE, Scope.PRIVATE, owner=3)
+        (h,) = reg.destroy_owned_by(3)
+        with pytest.raises(SpaceError):
+            reg.destroy(h)
+
 
 class TestScope:
     def test_private_access_by_owner_ok(self, reg):
@@ -117,3 +140,41 @@ class TestSnapshot:
         vol = SpaceRegistry(create_main=False, first_id=1_000_000)
         h = vol.create("v", Resilience.VOLATILE)
         assert h.id == 1_000_000
+
+    def test_roundtrip_with_volatile_spaces(self, reg):
+        v = reg.create("scratch", Resilience.VOLATILE)
+        p = reg.create("priv", Resilience.VOLATILE, Scope.PRIVATE, owner=9)
+        reg.store(v).add(make_tuple("v", 1))
+        reg.store(p, accessor=9).add(make_tuple("p", 2))
+        clone = SpaceRegistry.from_snapshot(reg.snapshot(stable_only=False))
+        assert clone.fingerprint() == reg.fingerprint()
+        assert clone.store(v).to_list() == [("v", 1)]
+        # ownership survives the round trip: scope still enforced
+        with pytest.raises(ScopeError):
+            clone.store(p, accessor=4)
+        assert clone.store(p, accessor=9).to_list() == [("p", 2)]
+
+    def test_roundtrip_preserves_id_gaps_no_reuse(self, reg):
+        # destroy punches a hole in the id sequence; the snapshot must
+        # carry next_id so the clone can never re-mint the dead id for a
+        # different space (stale handles would silently resolve to it)
+        a = reg.create("a")
+        dead = reg.create("doomed")
+        reg.destroy(dead)
+        clone = SpaceRegistry.from_snapshot(reg.snapshot(stable_only=False))
+        assert not clone.exists(dead)
+        fresh = clone.create("fresh")
+        assert fresh.id > dead.id
+        assert fresh == reg.create("fresh")  # allocation stays deterministic
+        assert clone.exists(a)
+
+    def test_roundtrip_after_owner_exit(self, reg):
+        # reused-process-id scenario: pid 3 dies (spaces reaped), a new
+        # process with the same pid creates more; the round trip must keep
+        # the survivor set and ownership exact
+        reg.create("old", Resilience.STABLE, Scope.PRIVATE, owner=3)
+        reg.destroy_owned_by(3)
+        new = reg.create("new", Resilience.STABLE, Scope.PRIVATE, owner=3)
+        clone = SpaceRegistry.from_snapshot(reg.snapshot(stable_only=False))
+        assert [h.name for h in clone.handles()] == ["main", "new"]
+        assert clone.destroy_owned_by(3) == [new]
