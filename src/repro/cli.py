@@ -252,7 +252,11 @@ def _build_runtime(opts: argparse.Namespace, tracer: Any = None) -> Any:
 
 
 def _run_churn(rt: Any, clients: int, ops: int) -> int:
-    """Drive `ops` out/in pairs split across `clients` threads."""
+    """Drive `ops` out/rd/in cycles split across `clients` threads.
+
+    The rd in the middle exercises the replica group's read fast path on
+    backends that have one — visible as the `read_fastpath` counter.
+    """
     import threading
 
     per_client = max(1, ops // max(1, clients))
@@ -260,6 +264,7 @@ def _run_churn(rt: Any, clients: int, ops: int) -> int:
     def churn(client: int) -> None:
         for k in range(per_client):
             rt.out(rt.main_ts, "metrics-op", client, k)
+            rt.rd(rt.main_ts, "metrics-op", client, k)
             rt.in_(rt.main_ts, "metrics-op", client, k)
 
     threads = [

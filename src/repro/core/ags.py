@@ -647,6 +647,27 @@ class AGS:
         """
         return all(b.guard.blocking for b in self.branches)
 
+    @property
+    def read_only(self) -> bool:
+        """True when no execution of this AGS can mutate replicated state.
+
+        Every guard is ``rd``/``rdp`` (or ``true``) and every body op is
+        ``rd``/``rdp`` — nothing withdraws, deposits or transfers, on any
+        branch, whether the statement fires, probes out, or aborts.  With
+        the replicated state machine keeping every replica identical
+        after each ordered command, such a statement can be answered by
+        any single up-to-date replica without the atomic-multicast round
+        trip (the replica group's read fast path).
+        """
+        for branch in self.branches:
+            op = branch.guard.op
+            if op is not None and op.code not in (OpCode.RD, OpCode.RDP):
+                return False
+            for body_op in branch.body:
+                if body_op.code not in (OpCode.RD, OpCode.RDP):
+                    return False
+        return True
+
     def waiting_on(self) -> list[dict[str, Any]]:
         """What a parked instance of this AGS is blocked on (plain data).
 

@@ -321,6 +321,23 @@ class TSStateMachine:
         self.applied_count += 1
         return completions
 
+    def try_read(self, ags: AGS, process_id: int) -> AGSResult | None:
+        """Evaluate a read-only AGS against current state, mutating nothing.
+
+        The replica group's read fast path: a statement whose every
+        operation is ``rd``/``rdp`` touches no replicated state, so one
+        up-to-date replica can answer it locally — outside the total
+        order and without parking.  Returns ``None`` when every guard is
+        blocking and none can fire right now; the caller falls back to
+        the ordered path instead of parking here (a locally parked read
+        would wake nondeterministically relative to the order).
+
+        Not counted in ``applied_count``: reads are not commands.
+        """
+        if not ags.read_only:
+            raise ValueError("try_read is only valid for read-only statements")
+        return self._try_execute(ags, process_id)
+
     def _apply_host_failed(self, command: HostFailed) -> None:
         # Blocked statements from the dead host will never be claimed;
         # dropping them is deterministic because HostFailed sits at a fixed

@@ -11,7 +11,11 @@ benefits from most).
 
 Queries (fingerprints, space sizes) travel in-band on the command FIFOs,
 so they see exactly the state after every previously sequenced command —
-no separate quiescing protocol is needed.  Crash injection SIGKILLs a
+no separate quiescing protocol is needed.  Read-only statements
+(``rd``/``rdp``) take the group's read fast path by default: one replica
+process answers them at a consistent session floor, skipping the
+sequencer, the N-way broadcast and the batch pickling altogether (pass
+``read_fastpath=False`` to force them through the total order).  Crash injection SIGKILLs a
 replica process; recovery spawns a fresh one and installs a snapshot
 captured from a live donor at a frozen point in the total order.
 
@@ -51,12 +55,14 @@ class MultiprocessRuntime(BaseRuntime):
         *,
         start_method: str = "spawn",
         batching: bool = True,
+        read_fastpath: bool = True,
         tracer: FlightRecorder | None = None,
     ):
         super().__init__()
         self.group = ReplicaGroup(
             PickleQueueTransport(n_replicas, start_method=start_method),
             batching=batching,
+            read_fastpath=read_fastpath,
             tracer=tracer,
         )
 

@@ -5,6 +5,10 @@ Architecture (one process, many threads): a shared
 batching — over an :class:`~repro.replication.transport.InMemoryTransport`
 (one FIFO + applier thread per replica); clients are ordinary threads
 (``eval_`` spawns them) that park until the group reports a completion.
+Read-only statements (``rd``/``rdp``) skip sequencing entirely by default
+— one replica answers them at a consistent session floor (the group's
+read fast path; pass ``read_fastpath=False`` to force every operation
+through the total order).
 
 Because replicas really do race on their own schedules, this backend
 exercises the determinism contract with genuine interleavings — the
@@ -43,11 +47,15 @@ class ThreadedReplicaRuntime(BaseRuntime):
         n_replicas: int = 3,
         *,
         batching: bool = True,
+        read_fastpath: bool = True,
         tracer: FlightRecorder | None = None,
     ):
         super().__init__()
         self.group = ReplicaGroup(
-            InMemoryTransport(n_replicas), batching=batching, tracer=tracer
+            InMemoryTransport(n_replicas),
+            batching=batching,
+            read_fastpath=read_fastpath,
+            tracer=tracer,
         )
 
     @property

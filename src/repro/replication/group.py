@@ -20,6 +20,23 @@ One object owns everything the paper's ordered-update pipeline needs
 - **in-band queries** — fingerprints, space sizes and snapshots travel on
   the command FIFOs, so they observe exactly the state after every
   previously sequenced command (no separate quiescing protocol);
+- **the read fast path** — a read-only :class:`ExecuteAGS` (every op
+  ``rd``/``rdp``) cannot change replicated state, and identical replicas
+  mean any single up-to-date replica can answer it.  :meth:`ReplicaGroup.
+  call` routes such statements *around* the total order: one live replica
+  receives an in-band read tagged with a **session floor** (the
+  highest slot the group has sequenced at that instant) and parks it
+  until its applied count reaches the floor, then evaluates the guard on
+  local state — read-your-writes consistency with no sequencing, no
+  broadcast and one guard evaluation instead of N.  The read lane gets
+  the same amortization as the write lane: a dedicated flusher thread
+  drains concurrently submitted reads and ships them per replica as one
+  ``READS`` item, and replicas answer each served batch with one
+  ``COMPS`` — so under read-heavy load the per-operation transport cost
+  (pickle + queue wakeup, both ways) is shared.  A blocking read whose
+  guard cannot fire locally, and any read stranded by a replica crash,
+  falls back transparently to the ordered path (the fallback ladder: fast
+  path → reroute on READMISS/crash → ordered park → ordered cancel);
 - **crash/recovery bookkeeping** — the alive mask, the ordered
   ``HostFailed``/``HostRecovered`` notifications, and the snapshot-based
   state transfer for transports that support restart;
@@ -50,6 +67,7 @@ from repro.core.spaces import TSHandle
 from repro.core.statemachine import (
     CancelRequest,
     Command,
+    ExecuteAGS,
     HostFailed,
     HostRecovered,
 )
@@ -68,11 +86,17 @@ CLIENT_ORIGIN = -1
 #: group is declared unresponsive.
 _CANCEL_GRACE_S = 30.0
 
+#: Sentinel answer deposited into a pending query's slot when its target
+#: replica crashes — fail fast instead of stalling the full query timeout.
+_REPLICA_CRASHED = object()
+
 
 class _Waiter:
     """One parked client submission and its latency timestamps."""
 
-    __slots__ = ("event", "slot", "t_submit", "t_ordered", "trace_id", "track")
+    __slots__ = (
+        "event", "slot", "t_submit", "t_ordered", "trace_id", "track", "fellback",
+    )
 
     def __init__(self, t_submit: float):
         self.event = threading.Event()
@@ -81,6 +105,10 @@ class _Waiter:
         self.t_ordered: float | None = None
         self.trace_id: int | None = None
         self.track = ""
+        #: Read fast path only (allocated in call()): set once the read has
+        #: been reshipped through the total order, so a concurrently
+        #: timing-out client never cancels ahead of the reship.
+        self.fellback: threading.Event | None = None
 
 
 class ReplicaGroup:
@@ -91,12 +119,14 @@ class ReplicaGroup:
         transport: Transport,
         *,
         batching: bool = True,
+        read_fastpath: bool = True,
         metrics: MetricsRegistry | None = None,
         tracer: FlightRecorder | None = None,
     ):
         self.transport = transport
         self.n_replicas = transport.n_replicas
         self.batching = batching
+        self.read_fastpath = read_fastpath
         self.alive = [True] * self.n_replicas
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
@@ -105,24 +135,53 @@ class ReplicaGroup:
         self._seq_lock = threading.Lock()  # holding this IS the total order
         self._pending: deque[tuple[Command, _Waiter | None]] = deque()
         self._pending_lock = threading.Lock()
-        self._state_lock = threading.Lock()  # waiters + queries
+        self._state_lock = threading.Lock()  # waiters + queries + reads
         self._waiters: dict[int, _Waiter] = {}
         self._queries: dict[tuple[int, int], tuple[threading.Event, list]] = {}
+        #: Outstanding fast-path reads: request_id -> (replica_id, command).
+        #: Guarded by _state_lock; exactly one of {completion, miss, crash
+        #: reroute, client timeout} pops each entry and owns its outcome.
+        self._reads: dict[int, tuple[int, Command]] = {}
+        #: Count of commands sequenced so far — the session floor for
+        #: reads.  Incremented (under _pending_lock) *before* a batch is
+        #: broadcast, so by the time any completion reaches a client the
+        #: counter already covers the completed command's slot.
+        self._sequenced = 0
+        #: The read lane's pending queue: (replica, floor, cmd) triples
+        #: drained by the read flusher into one READS item per replica —
+        #: the same batch amortization the sequencer gives writes, minus
+        #: the ordering.  deque append/popleft are atomic; no lock needed.
+        self._read_pending: deque[tuple[int, int, ExecuteAGS]] = deque()
+        self._read_kick = threading.Event()
+        #: Contention detector for the read lane: a reader that gets this
+        #: uncontended sends its read itself (lowest latency); one that
+        #: finds it held leaves the read for the flusher to batch.
+        self._read_send_lock = threading.Lock()
         self._h_submit = self.metrics.histogram("submit_to_order")
         self._h_apply = self.metrics.histogram("order_to_apply")
         self._h_e2e = self.metrics.histogram("ags_e2e")
         self._h_batch = self.metrics.histogram("batch_size", lo=1.0, n_buckets=12)
+        self._h_read = self.metrics.histogram("read_latency")
         self._c_cmds = self.metrics.counter("commands_submitted")
         self._c_batches = self.metrics.counter("batches_shipped")
+        self._c_read_fast = self.metrics.counter("read_fastpath")
+        self._c_read_fallback = self.metrics.counter("read_fallback")
         self._stopped = False
         transport.start(self._on_worker_item)
         self._kick = threading.Event()
         self._seq_thread: threading.Thread | None = None
+        self._read_thread: threading.Thread | None = None
         if batching:
             self._seq_thread = threading.Thread(
                 target=self._sequencer_loop, name="sequencer", daemon=True
             )
             self._seq_thread.start()
+            if read_fastpath:
+                self._read_thread = threading.Thread(
+                    target=self._read_flusher_loop, name="read-flusher",
+                    daemon=True,
+                )
+                self._read_thread.start()
 
     # ------------------------------------------------------------------ #
     # sequencing (the bus)
@@ -134,10 +193,16 @@ class ReplicaGroup:
     def call(self, cmd: Command, timeout: float | None = None) -> Any:
         """Sequence *cmd*, park until its completion, return the result.
 
-        On timeout the statement is withdrawn *through the total order*
-        (a :class:`CancelRequest`), then whichever outcome won the race —
-        completion or cancellation — is taken, so a timed-out ``in`` can
-        never consume a tuple it did not report.
+        Read-only statements take the read fast path when enabled: they
+        are answered by one live replica at a consistent session floor
+        instead of being sequenced (see the module docstring), falling
+        back to the ordered path when the guard cannot fire locally or
+        the chosen replica crashes.
+
+        On timeout an *ordered* statement is withdrawn *through the total
+        order* (a :class:`CancelRequest`), then whichever outcome won the
+        race — completion or cancellation — is taken, so a timed-out
+        ``in`` can never consume a tuple it did not report.
         """
         w = _Waiter(time.monotonic())
         tracer = self.tracer
@@ -147,16 +212,133 @@ class ReplicaGroup:
         with self._state_lock:
             self._waiters[cmd.request_id] = w
         self._c_cmds.inc()
+        if (
+            self.read_fastpath
+            and isinstance(cmd, ExecuteAGS)
+            and cmd.ags.read_only
+        ):
+            w.fellback = threading.Event()
+            if self._send_read(cmd):
+                return self._await_read(cmd, w, timeout)
         self._ship(cmd, w)
         if w.event.wait(timeout):
             return w.slot[0]
+        return self._finish_ordered_timeout(cmd, w, timeout)
+
+    def _finish_ordered_timeout(
+        self, cmd: Command, w: _Waiter, timeout: float | None
+    ) -> Any:
+        """The ordered cancel dance after a parked call's guard timeout."""
         self.post(CancelRequest(self.next_request_id(), CLIENT_ORIGIN, cmd.request_id))
         if not w.event.wait(_CANCEL_GRACE_S):
+            with self._state_lock:
+                self._waiters.pop(cmd.request_id, None)
             raise TimeoutError_("replica group unresponsive")
         result = w.slot[0]
         if isinstance(result, AGSResult) and result.error == "cancelled":
             raise TimeoutError_(f"guard not satisfied within {timeout}s")
         return result
+
+    # ------------------------------------------------------------------ #
+    # the read fast path
+    # ------------------------------------------------------------------ #
+
+    def _send_read(self, cmd: ExecuteAGS) -> bool:
+        """Route a read-only statement to one live replica.
+
+        The session floor is the highest slot the group has *sequenced*
+        at this instant.  Any command whose completion a client has seen
+        was sequenced before its completion was reported, so it sits at
+        or below the floor — the answering replica parks the read until
+        it has applied that much, giving read-your-writes (and
+        read-anyone's-completed-writes) without entering the order.
+        Commands still *pending* are deliberately not covered: they have
+        completed for nobody yet, and waiting on them would re-couple
+        reads to the sequencing of unrelated writers.
+
+        Returns False when no replica could take the read (none live, or
+        the chosen one crashed mid-send) — the caller ships it ordered.
+        """
+        live = self.live_replicas()
+        if not live:
+            return False
+        # Sticky routing: a client thread's reads all land on the same
+        # replica (its session floor is already applied there, and the
+        # replica stays hot), while distinct clients hash across the live
+        # set for balance.  Membership changes just re-hash.
+        replica = live[threading.get_ident() % len(live)]
+        with self._pending_lock:
+            floor = self._sequenced
+        with self._state_lock:
+            self._reads[cmd.request_id] = (replica, cmd)
+        if self._read_send_lock.acquire(blocking=False):
+            # idle lane: send directly — one thread hop fewer, which is
+            # most of a fast read's latency at low concurrency
+            try:
+                self.transport.send(replica, ("READS", [(floor, cmd)]))
+            finally:
+                self._read_send_lock.release()
+        elif self._read_thread is not None:
+            # another reader holds the lane: join the flusher's next
+            # per-replica batch instead of queueing up a send per read
+            self._read_pending.append((replica, floor, cmd))
+            self._read_kick.set()
+        else:
+            self.transport.send(replica, ("READS", [(floor, cmd)]))
+        if not self.alive[replica]:
+            # Raced crash_replica: whoever pops the registration owns the
+            # reroute.  If the crash handler already did, the ordered
+            # fallback is in flight and the fast path "took" the read.
+            with self._state_lock:
+                if self._reads.pop(cmd.request_id, None) is not None:
+                    return False
+        self._c_read_fast.inc()
+        return True
+
+    def _await_read(self, cmd: ExecuteAGS, w: _Waiter, timeout: float | None) -> Any:
+        """Wait out a fast-path read; degrade to the ordered ladder."""
+        if w.event.wait(timeout):
+            self._h_read.record(time.monotonic() - w.t_submit)
+            return w.slot[0]
+        with self._state_lock:
+            owned = self._reads.pop(cmd.request_id, None)
+            if owned is not None:
+                self._waiters.pop(cmd.request_id, None)
+        if owned is not None:
+            # Still on the fast path: nothing is parked in the total order
+            # and reads consume nothing, so no ordered cancel is needed.
+            raise TimeoutError_(f"guard not satisfied within {timeout}s")
+        if w.event.is_set():
+            return w.slot[0]  # completion won the race with the deadline
+        # The read fell back to the ordered path before the deadline and
+        # is parked there — wait for the reship to actually be enqueued
+        # (the fallback claim and its _ship are not atomic), then withdraw
+        # it through the order as usual.
+        if w.fellback is not None:
+            w.fellback.wait(1.0)
+        return self._finish_ordered_timeout(cmd, w, timeout)
+
+    def _fallback_read(self, request_id: int) -> None:
+        """Reship an outstanding fast-path read through the total order."""
+        with self._state_lock:
+            entry = self._reads.pop(request_id, None)
+            w = self._waiters.get(request_id) if entry is not None else None
+        if entry is not None and w is not None:
+            self._c_read_fallback.inc()
+            self._ship(entry[1], w)
+            if w.fellback is not None:
+                w.fellback.set()
+
+    def _reroute_reads(self, replica_id: int) -> None:
+        """Reship every read stranded on a crashed replica."""
+        with self._state_lock:
+            stranded = [
+                rid
+                for rid, (target, _cmd) in self._reads.items()
+                if target == replica_id
+            ]
+        for rid in stranded:
+            self._fallback_read(rid)
 
     def post(self, cmd: Command) -> None:
         """Sequence *cmd* without waiting for any completion."""
@@ -168,6 +350,8 @@ class ReplicaGroup:
     def _ship(self, cmd: Command, w: _Waiter | None) -> None:
         if not self.batching:
             with self._seq_lock:
+                with self._pending_lock:
+                    self._sequenced += 1
                 self._broadcast_batch([(cmd, w)])
             return
         with self._pending_lock:
@@ -186,6 +370,10 @@ class ReplicaGroup:
                 return False
             batch = list(self._pending)
             self._pending.clear()
+            # counted as sequenced before the broadcast below: a read
+            # floor taken after any of these commands completes must
+            # already cover their slots
+            self._sequenced += len(batch)
         self._broadcast_batch(batch)
         return True
 
@@ -207,6 +395,37 @@ class ReplicaGroup:
             if self._stopped:
                 with self._seq_lock:
                     self._flush_pending_locked()
+                return
+
+    def _read_flusher_loop(self) -> None:
+        """Drain the read lane into per-replica READS batches until shutdown.
+
+        The write lane's amortization argument, replayed: while this
+        thread is shipping one batch, concurrently submitting readers
+        keep appending — so each transport send (and, on the pickling
+        transport, each marshalling pass) carries as many reads as the
+        previous send was slow.  A read enqueued for a replica that
+        crashed after registration still gets shipped here; the dead
+        FIFO drops it, and the crash handler's reroute owns the outcome.
+        """
+        pending = self._read_pending
+        while True:
+            self._read_kick.wait()
+            self._read_kick.clear()
+            while pending:
+                by_replica: dict[int, list[tuple[int, ExecuteAGS]]] = {}
+                try:
+                    while True:
+                        replica, floor, cmd = pending.popleft()
+                        by_replica.setdefault(replica, []).append((floor, cmd))
+                except IndexError:
+                    pass
+                # hold the lane lock while shipping so concurrent readers
+                # keep feeding the next batch instead of racing us
+                with self._read_send_lock:
+                    for replica, reads in by_replica.items():
+                        self.transport.send(replica, ("READS", reads))
+            if self._stopped:
                 return
 
     def _broadcast_batch(self, batch: list[tuple[Command, _Waiter | None]]) -> None:
@@ -263,30 +482,42 @@ class ReplicaGroup:
     # worker emissions (completions + query answers)
     # ------------------------------------------------------------------ #
 
+    def _complete(self, replica_id: int, rid: int, result: Any) -> None:
+        """Deliver one completion: pop-as-claim, record latencies, wake."""
+        with self._state_lock:
+            w = self._waiters.pop(rid, None)
+            self._reads.pop(rid, None)
+        if w is not None:
+            now = time.monotonic()
+            if w.t_ordered is not None:
+                self._h_apply.record(now - w.t_ordered)
+            self._h_e2e.record(now - w.t_submit)
+            tracer = self.tracer
+            if tracer is not None and w.trace_id is not None:
+                tracer.record_span(
+                    w.t_submit,
+                    w.track,
+                    "client",
+                    "e2e",
+                    dur=now - w.t_submit,
+                    trace_id=w.trace_id,
+                    args={"request_id": rid, "replica": replica_id},
+                )
+            w.slot.append(result)
+            w.event.set()
+
     def _on_worker_item(self, replica_id: int, item: tuple) -> None:
         kind = item[0]
         if kind == "COMP":
-            _k, rid, result = item
-            with self._state_lock:
-                w = self._waiters.pop(rid, None)
-            if w is not None:
-                now = time.monotonic()
-                if w.t_ordered is not None:
-                    self._h_apply.record(now - w.t_ordered)
-                self._h_e2e.record(now - w.t_submit)
-                tracer = self.tracer
-                if tracer is not None and w.trace_id is not None:
-                    tracer.record_span(
-                        w.t_submit,
-                        w.track,
-                        "client",
-                        "e2e",
-                        dur=now - w.t_submit,
-                        trace_id=w.trace_id,
-                        args={"request_id": rid, "replica": replica_id},
-                    )
-                w.slot.append(result)
-                w.event.set()
+            self._complete(replica_id, item[1], item[2])
+        elif kind == "COMPS":
+            # one READS batch's worth of fast-path answers
+            for rid, result in item[1]:
+                self._complete(replica_id, rid, result)
+        elif kind == "READMISS":
+            # a blocking read's guard cannot fire on the replica's local
+            # state: reroute it through the total order, where it parks
+            self._fallback_read(item[1])
         elif kind == "SPANS":
             tracer = self.tracer
             if tracer is not None:
@@ -324,16 +555,42 @@ class ReplicaGroup:
             self._queries[(qid, replica_id)] = (event, slot)
         return qid, event, slot
 
+    def _fail_queries(self, replica_id: int) -> None:
+        """Answer every query pending on a crashed replica with a sentinel."""
+        with self._state_lock:
+            keys = [k for k in self._queries if k[1] == replica_id]
+            victims = [self._queries.pop(k) for k in keys]
+        for event, slot in victims:
+            slot.append(_REPLICA_CRASHED)
+            event.set()
+
     def query(
         self, replica_id: int, what: str, arg: Any = None, timeout: float = 30.0
     ) -> Any:
-        """In-band query: answered after all previously sequenced commands."""
+        """In-band query: answered after all previously sequenced commands.
+
+        Fails fast on a replica that is already crashed — or that crashes
+        while the query is pending (crash_replica deposits a sentinel
+        answer) — instead of stalling out the full timeout; the
+        registration never outlives the call, whichever way it ends.
+        """
+        if not self.alive[replica_id]:
+            raise TimeoutError_(f"replica {replica_id} has crashed")
         qid, event, slot = self._register_query(replica_id)
         with self._seq_lock:  # serialize against broadcasts: stay in-band
             self._flush_pending_locked()
             self.transport.send(replica_id, ("QUERY", qid, what, arg))
+        if not self.alive[replica_id] and not event.is_set():
+            # raced crash_replica past its pending-query sweep
+            with self._state_lock:
+                self._queries.pop((qid, replica_id), None)
+            raise TimeoutError_(f"replica {replica_id} has crashed")
         if not event.wait(timeout):
+            with self._state_lock:
+                self._queries.pop((qid, replica_id), None)
             raise TimeoutError_(f"replica {replica_id} did not answer query")
+        if slot[0] is _REPLICA_CRASHED:
+            raise TimeoutError_(f"replica {replica_id} crashed during query")
         return slot[0]
 
     # ------------------------------------------------------------------ #
@@ -345,10 +602,18 @@ class ReplicaGroup:
 
     def crash_replica(self, replica_id: int, *, notify: bool = True) -> None:
         """Halt one replica mid-stream; optionally deposit its failure tuple."""
-        if not self.alive[replica_id]:
-            return
-        self.alive[replica_id] = False
+        with self._seq_lock:
+            # the sequencer reads the alive mask while broadcasting; flip
+            # it under the same lock so a batch never ships against a
+            # half-updated live set
+            if not self.alive[replica_id]:
+                return
+            self.alive[replica_id] = False
         self.transport.stop_replica(replica_id)
+        # anything parked on the dead replica can never be answered by it:
+        # fail its pending queries fast, reroute its outstanding reads
+        self._fail_queries(replica_id)
+        self._reroute_reads(replica_id)
         if self.tracer is not None:
             self.tracer.record_span(
                 time.monotonic(), f"replica-{replica_id}", "membership", "crash"
@@ -382,6 +647,8 @@ class ReplicaGroup:
             qid, event, slot = self._register_query(donor)
             self.transport.send(donor, ("SNAPSHOT", qid))
             if not event.wait(timeout):
+                with self._state_lock:
+                    self._queries.pop((qid, donor), None)
                 raise TimeoutError_("donor replica did not produce a snapshot")
             snapshot, applied = slot[0]
             self.transport.restart_replica(replica_id)
@@ -391,6 +658,8 @@ class ReplicaGroup:
             )
             self.alive[replica_id] = True
         if not event2.wait(timeout):
+            with self._state_lock:
+                self._queries.pop((qid2, replica_id), None)
             raise TimeoutError_("recovered replica did not confirm install")
         if self.tracer is not None:
             self.tracer.record_span(
@@ -411,20 +680,40 @@ class ReplicaGroup:
 
         Implemented as an in-band no-op query per replica: the answer can
         only arrive after everything ahead of it on the FIFO has applied.
+        A replica crashing mid-iteration is skipped, not an error.
         """
         for i in self.live_replicas():
-            self.query(i, "applied", timeout=timeout)
+            try:
+                self.query(i, "applied", timeout=timeout)
+            except TimeoutError_:
+                if self.alive[i]:
+                    raise  # a genuine stall, not a crash race
 
     def fingerprints(self) -> list[int]:
-        """Stable-state fingerprints of all live replicas."""
-        return [self.query(i, "fingerprint") for i in self.live_replicas()]
+        """Stable-state fingerprints of all live replicas.
+
+        Tolerates a replica crashing mid-iteration: its fingerprint is
+        simply omitted (it is no longer part of the live set).
+        """
+        prints: list[int] = []
+        for i in self.live_replicas():
+            try:
+                prints.append(self.query(i, "fingerprint"))
+            except TimeoutError_:
+                if self.alive[i]:
+                    raise
+        return prints
 
     def converged(self) -> bool:
         return len(set(self.fingerprints())) <= 1
 
     def space_size(self, handle: TSHandle) -> int:
         for i in self.live_replicas():
-            return self.query(i, "space_size", handle)
+            try:
+                return self.query(i, "space_size", handle)
+            except TimeoutError_:
+                if self.alive[i]:
+                    raise  # crashed mid-query: ask the next live replica
         raise TimeoutError_("all replicas have crashed")
 
     def metrics_snapshot(self) -> dict[str, Any]:
@@ -444,7 +733,10 @@ class ReplicaGroup:
         snap = empty_snapshot(backend)
         applied: dict[int, int | None] = {}
         for i in range(self.n_replicas):
-            applied[i] = self.query(i, "applied") if self.alive[i] else None
+            try:
+                applied[i] = self.query(i, "applied") if self.alive[i] else None
+            except TimeoutError_:
+                applied[i] = None  # crashed mid-query
         live_counts = [a for a in applied.values() if a is not None]
         head = max(live_counts) if live_counts else 0
         snap["replicas"] = [
@@ -458,7 +750,11 @@ class ReplicaGroup:
         ]
         live = self.live_replicas()
         if live:
-            snap["sm"] = self.query(live[0], "introspect")
+            try:
+                snap["sm"] = self.query(live[0], "introspect")
+            except TimeoutError_:
+                if self.alive[live[0]]:
+                    raise
         with self._pending_lock:
             snap["pending"] = len(self._pending)
         return snap
@@ -474,4 +770,7 @@ class ReplicaGroup:
         if self._seq_thread is not None:
             self._kick.set()
             self._seq_thread.join(timeout=5.0)
+        if self._read_thread is not None:
+            self._read_kick.set()
+            self._read_thread.join(timeout=5.0)
         self.transport.shutdown(self.alive)

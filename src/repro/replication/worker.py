@@ -13,6 +13,13 @@ received                              meaning
                                       replica (the batching optimization)
 ``("QUERY", qid, what, arg)``         in-band state query; answered after
                                       everything sequenced before it
+``("READS", [(floor, cmd), ...])``    read fast path: evaluate each
+                                      read-only ExecuteAGS on local state
+                                      once ``applied >= floor`` (parked
+                                      until then), mutating nothing; the
+                                      group's read flusher batches many
+                                      reads into one item, mirroring the
+                                      write lane's batch amortization
 ``("SNAPSHOT", qid)``                 emit a state-transfer snapshot
 ``("INSTALL", qid, snap, applied)``   replace state with a snapshot
 ``("STOP",)`` / ``None``              exit the loop
@@ -21,6 +28,12 @@ emitted
 ------------------------------------  ------------------------------------
 ``("COMP", request_id, result)``      a completion (every replica reports;
                                       the group deduplicates)
+``("COMPS", [(request_id, result),    answers for the reads of one READS
+  ...])``                             batch that fired, batched to halve
+                                      the reply-lane message count
+``("READMISS", request_id)``          a read whose blocking guard cannot
+                                      fire on local state; the group
+                                      reroutes it through the total order
 ``("QUERY", qid, replica_id, ans)``   a query/snapshot/install answer
 ``("SPANS", [(trace_id, request_id,   apply-span records for the traced
   slot, ts, dur), ...])``             commands of one batch — emitted only
@@ -63,6 +76,29 @@ def replica_loop(
     sm = TSStateMachine()
     applied = 0
     stopped = halted if halted is not None else (lambda: False)
+    # Reads parked on a session floor: [(floor, ExecuteAGS)].  Served the
+    # moment `applied` catches up — so a client always observes at least
+    # everything sequenced before it submitted (read-your-writes), while
+    # the read itself never enters the total order.
+    pending_reads: list[tuple[int, Any]] = []
+
+    def serve_reads(reads: list[tuple[int, Any]]) -> None:
+        comps: list[tuple[int, Any]] = []
+        for _floor, cmd in reads:
+            result = sm.try_read(cmd.ags, cmd.process_id)
+            if result is None:
+                emit(("READMISS", cmd.request_id))
+            else:
+                comps.append((cmd.request_id, result))
+        if comps:
+            emit(("COMPS", comps))
+
+    def drain_reads() -> None:
+        ready = [r for r in pending_reads if r[0] <= applied]
+        if ready:
+            pending_reads[:] = [r for r in pending_reads if r[0] > applied]
+            serve_reads(ready)
+
     while True:
         if stopped():
             return
@@ -100,6 +136,11 @@ def replica_loop(
                     emit(("COMP", c.request_id, c.result))
             if spans is not None:
                 emit(("SPANS", spans))
+            drain_reads()
+        elif kind == "READS":
+            ready = [r for r in item[1] if r[0] <= applied]
+            pending_reads.extend(r for r in item[1] if r[0] > applied)
+            serve_reads(ready)
         elif kind == "QUERY":
             _k, qid, what, arg = item
             if what == "fingerprint":
@@ -124,6 +165,7 @@ def replica_loop(
             sm = TSStateMachine.from_snapshot(snapshot)
             applied = count
             emit(("QUERY", qid, replica_id, "installed"))
+            drain_reads()
 
 
 def run_replica_process(replica_id: int, cmd_q: Any, result_q: Any) -> None:
