@@ -73,4 +73,26 @@ class CompileError(LindaError):
 
 
 class TimeoutError_(RuntimeFailure):
-    """A bounded wait elapsed before the guard could fire."""
+    """A bounded wait elapsed before the guard could fire.
+
+    ``outcome`` records what is known about the command's fate when the
+    wait gave up: ``"cancelled"`` means an ordered cancel reached every
+    replica first, so the command definitely did not and will not apply;
+    ``"unknown"`` means the cancel race was lost or never resolved, so the
+    command may yet apply.  Retry logic keys off this to decide whether a
+    resubmission needs the original request id (for replica-side dedup).
+    """
+
+    def __init__(self, message: str, *, outcome: str = "cancelled"):
+        self.outcome = outcome
+        super().__init__(message)
+
+
+class CommandFailed(RuntimeFailure):
+    """A command's apply raised on the replicas.
+
+    The apply loop converts the exception into this deterministic failed
+    completion on *every* replica — the poison command consumes its slot,
+    state machines stay identical, and only the submitting client sees
+    the failure.
+    """

@@ -1,0 +1,238 @@
+"""Chaos injection for the parallel backends: break things, on purpose.
+
+The liveness plane's claim — SIGKILLed replicas are detected, poison
+commands can't fork the group, internal-thread deaths don't wedge
+clients — is only worth making if something routinely tries to falsify
+it.  This module is that something: a :class:`ChaosMonkey` bound to a
+running parallel runtime, with one method per fault the replication layer
+promises to survive:
+
+- :meth:`ChaosMonkey.kill_replica` — the *non-cooperative* crash.  On
+  the multiprocess backend this is a literal ``SIGKILL`` of the replica
+  process; on the threaded backend the worker thread is halted directly.
+  Crucially the replica group is **not told**: only the failure detector
+  can notice, which is exactly what these faults exist to exercise
+  (``crash_replica`` by contrast is the cooperative path — the group
+  does its own bookkeeping because the caller is the one shooting).
+- :meth:`ChaosMonkey.poison_command` — submit a :class:`Detonate`, a
+  command whose ``apply`` deterministically raises on every replica.
+  The apply loop's poison barrier must convert it into a
+  :class:`~repro._errors.CommandFailed` for the submitting client while
+  every replica stays fingerprint-identical.
+- :meth:`ChaosMonkey.delay_replica` — stall one replica's delivery lane
+  (an in-band ``SLEEP``), creating lag and false-suspicion pressure
+  without killing anything: the detector must NOT fire (the probe still
+  passes).
+- :meth:`ChaosMonkey.kill_read_flusher` / :meth:`ChaosMonkey.
+  kill_sequencer` — feed an internal group thread an item it cannot
+  process.  The flusher's death must degrade reads to direct sends; the
+  sequencer's death must mark the group failed and wake every waiter.
+
+Faults can be scripted (:meth:`ChaosMonkey.run_script`) or generated
+from a seed (:meth:`ChaosMonkey.random_script`) — seeded, so a failing
+chaos run reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from typing import Any, Callable, Sequence
+
+from repro._errors import RuntimeFailure
+from repro.core.statemachine import Command
+from repro.replication.group import CLIENT_ORIGIN, ReplicaGroup
+from repro.replication.transport import InMemoryTransport, PickleQueueTransport
+
+__all__ = ["ChaosMonkey", "Detonate"]
+
+
+class Detonate(Command):
+    """A poison command: no state machine knows how to apply it.
+
+    ``TSStateMachine.apply`` raises ``TypeError`` on unknown command
+    types — deterministically, on every replica — which makes this the
+    minimal reproducible stand-in for any apply-path bug: same slot,
+    same exception, everywhere.  The apply loop's poison barrier must
+    turn it into a failed completion rather than a dead replica.
+    """
+
+    __slots__ = ()
+
+
+class ChaosMonkey:
+    """Scriptable fault injection against one parallel runtime.
+
+    Parameters
+    ----------
+    runtime:
+        A ``ThreadedReplicaRuntime`` or ``MultiprocessRuntime`` (anything
+        exposing a ``group`` attribute bound to a ReplicaGroup).
+    seed:
+        Seeds the private RNG used by :meth:`random_script`; runs with
+        the same seed inject the same faults at the same offsets.
+    """
+
+    def __init__(self, runtime: Any, seed: int | None = None):
+        self.runtime = runtime
+        self.group: ReplicaGroup = runtime.group
+        self.rng = random.Random(seed)
+        #: Everything injected, in order: (t_offset_s, action, args).
+        self.log: list[tuple[float, str, tuple]] = []
+        self._t0 = time.monotonic()
+
+    def _note(self, action: str, *args: Any) -> None:
+        self.log.append((time.monotonic() - self._t0, action, args))
+
+    # ------------------------------------------------------------------ #
+    # the faults
+    # ------------------------------------------------------------------ #
+
+    def kill_replica(self, replica_id: int) -> None:
+        """Hard-kill one replica WITHOUT telling the group.
+
+        Multiprocess: SIGKILL the replica process — the OS-level death
+        the paper's fail-silent processors model.  Threaded: halt the
+        worker thread directly.  Either way the group's bookkeeping is
+        bypassed; only the failure detector (or a client timing out) can
+        notice.
+        """
+        transport = self.group.transport
+        if isinstance(transport, PickleQueueTransport):
+            proc = transport.processes[replica_id]
+            if proc.pid is not None and proc.is_alive():
+                os.kill(proc.pid, signal.SIGKILL)
+        elif isinstance(transport, InMemoryTransport):
+            # halt flag + wakeup, exactly what a thread dying of an
+            # unhandled exception looks like from outside; the probe
+            # (halted check) now fails while the group still counts the
+            # replica as alive
+            transport._halted[replica_id].set()
+            transport._fifos[replica_id].put(("STOP",))
+        else:  # pragma: no cover - future transports
+            raise TypeError(
+                f"don't know how to kill a replica of {type(transport).__name__}"
+            )
+        self._note("kill_replica", replica_id)
+
+    def poison_command(self, timeout: float = 30.0) -> Any:
+        """Submit a command whose apply raises on every replica.
+
+        Returns the exception the group surfaced (expected:
+        :class:`~repro._errors.CommandFailed`); raises if the group
+        swallowed the poison silently.
+        """
+        cmd = Detonate(self.group.next_request_id(), CLIENT_ORIGIN)
+        self._note("poison_command", cmd.request_id)
+        try:
+            result = self.group.call(cmd, timeout)
+        except RuntimeFailure as exc:
+            return exc
+        raise AssertionError(
+            f"poison command returned {result!r} instead of failing"
+        )
+
+    def delay_replica(self, replica_id: int, seconds: float) -> None:
+        """Stall one replica's delivery lane for *seconds* (in-band)."""
+        self.group.transport.send(replica_id, ("SLEEP", seconds))
+        self._note("delay_replica", replica_id, seconds)
+
+    def kill_read_flusher(self) -> None:
+        """Feed the read-flusher thread an item it cannot unpack."""
+        self.group._read_pending.append(("BOOM",))  # type: ignore[arg-type]
+        self.group._read_kick.set()
+        self._note("kill_read_flusher")
+
+    def kill_sequencer(self) -> None:
+        """Feed the sequencer thread a batch entry it cannot process.
+
+        After this the group is dead by design: the test of interest is
+        that every parked and subsequent call fails fast with
+        ``RuntimeFailure`` instead of hanging.
+        """
+        with self.group._pending_lock:
+            self.group._pending.append(("BOOM",))  # type: ignore[arg-type]
+        self.group._kick.set()
+        self._note("kill_sequencer")
+
+    # ------------------------------------------------------------------ #
+    # scripting
+    # ------------------------------------------------------------------ #
+
+    def run_script(
+        self, steps: Sequence[tuple[float, str, tuple]], *, on_step: Callable | None = None
+    ) -> None:
+        """Run ``(delay_s, action, args)`` steps, sleeping between them.
+
+        ``action`` names any fault method above.  Runs on the calling
+        thread; wrap in a thread to chaos a live workload.
+        """
+        for delay, action, args in steps:
+            if delay > 0:
+                time.sleep(delay)
+            getattr(self, action)(*args)
+            if on_step is not None:
+                on_step(action, args)
+
+    def random_script(
+        self,
+        n_steps: int,
+        *,
+        actions: Sequence[str] = ("kill_replica", "delay_replica"),
+        max_delay: float = 0.5,
+    ) -> list[tuple[float, str, tuple]]:
+        """Generate a seeded fault script (deterministic per seed).
+
+        Kills avoid repeating a victim (the group only has so many
+        replicas) and never target replica 0, keeping at least one
+        survivor as snapshot donor for recovery-enabled runs.
+        """
+        steps: list[tuple[float, str, tuple]] = []
+        killable = list(range(1, self.group.n_replicas))
+        for _ in range(n_steps):
+            action = self.rng.choice(list(actions))
+            delay = self.rng.uniform(0.05, max_delay)
+            if action == "kill_replica":
+                if not killable:
+                    continue
+                victim = self.rng.choice(killable)
+                killable.remove(victim)
+                steps.append((delay, action, (victim,)))
+            elif action == "delay_replica":
+                victim = self.rng.randrange(self.group.n_replicas)
+                steps.append(
+                    (delay, action, (victim, self.rng.uniform(0.05, 0.2)))
+                )
+            else:
+                steps.append((delay, action, ()))
+        return steps
+
+    # ------------------------------------------------------------------ #
+    # observation helpers (used by tests and the failover benchmark)
+    # ------------------------------------------------------------------ #
+
+    def wait_detected(self, replica_id: int, timeout: float = 10.0) -> float:
+        """Block until the group declares *replica_id* dead; return seconds."""
+        t0 = time.monotonic()
+        deadline = t0 + timeout
+        while self.group.alive[replica_id]:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"replica {replica_id} not declared dead within {timeout}s"
+                )
+            time.sleep(0.005)
+        return time.monotonic() - t0
+
+    def wait_recovered(self, replica_id: int, timeout: float = 30.0) -> float:
+        """Block until *replica_id* rejoins the live set; return seconds."""
+        t0 = time.monotonic()
+        deadline = t0 + timeout
+        while not self.group.alive[replica_id]:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"replica {replica_id} not recovered within {timeout}s"
+                )
+            time.sleep(0.005)
+        return time.monotonic() - t0

@@ -9,9 +9,11 @@ Run::
 
     python -m repro.cli
     python -m repro.cli --program examples/worker.ftl
+    python -m repro.cli --backend multiproc --replicas 3 --auto-recover
     python -m repro.cli metrics --backend multiproc --ops 500
     python -m repro.cli trace --backend multiproc --ops 100 --out trace.json
     python -m repro.cli top --backend threaded --wedge --once
+    python -m repro.cli chaos --backend multiproc --seed 1
 
 The ``metrics`` subcommand drives a small tuple-churn workload on a
 chosen backend and prints the runtime's metrics snapshot (submit→order,
@@ -35,6 +37,14 @@ stall-detector verdicts), replica queue depth/lag, and WAL size.
 watch the stall detector fire; ``--export FILE`` also writes each frame
 as a Prometheus text-format snapshot.
 
+The ``chaos`` subcommand is the failure-detection demo: it drives churn
+on a parallel backend with the liveness plane enabled, hard-kills a
+seeded-random replica mid-workload (``SIGKILL`` on multiproc), and
+reports how long detection and auto-recovery took plus whether the group
+converged afterwards.  The REPL itself can also run on a parallel
+backend (``--backend threaded|multiproc``), where ``.kill``/``.recover``
+/``.replicas`` expose the same machinery interactively.
+
 Commands (everything else is compiled as an FT-lcc statement)::
 
     .spaces                    list tuple spaces
@@ -43,6 +53,10 @@ Commands (everything else is compiled as an FT-lcc statement)::
     .load FILE                 load an .ftl program (binds its spaces)
     .run NAME [k=v ...]        run a named program statement
     .fail HOST                 inject a failure notification
+    .kill R                    hard-kill replica R, bypassing the group
+                               (parallel backends; the detector must notice)
+    .recover R                 restart replica R via state transfer
+    .replicas                  show replica liveness
     .metrics                   show runtime latency/throughput metrics
     .catalog                   show the signature catalog
     .help                      this text
@@ -69,13 +83,14 @@ __all__ = ["FtlShell", "main"]
 class FtlShell:
     """The REPL engine, separable from the terminal for testing."""
 
-    def __init__(self, out: TextIO = sys.stdout):
-        self.rt = LocalRuntime()
+    def __init__(self, out: TextIO = sys.stdout, rt: Any = None):
+        self.rt = LocalRuntime() if rt is None else rt
         self.out = out
         self.spaces: dict[str, TSHandle] = {"main": MAIN_TS}
         self.catalog = SignatureCatalog()
         self.program: Program | None = None
         self.running = True
+        self._chaos: Any = None  # lazy ChaosMonkey for .kill
 
     # ------------------------------------------------------------------ #
     # the loop
@@ -185,6 +200,24 @@ class FtlShell:
         elif cmd == ".fail":
             self.rt.inject_failure(int(args[0]))
             self._print(f"failure tuple deposited for host {args[0]}")
+        elif cmd == ".kill":
+            if not args:
+                raise ValueError(".kill REPLICA_ID")
+            self._monkey().kill_replica(int(args[0]))
+            self._print(
+                f"replica {args[0]} killed behind the group's back "
+                "(.replicas to watch the detector)"
+            )
+        elif cmd == ".recover":
+            if not args:
+                raise ValueError(".recover REPLICA_ID")
+            self._group()  # raises on the local backend
+            self.rt.recover_replica(int(args[0]))
+            self._print(f"replica {args[0]} rejoined via state transfer")
+        elif cmd == ".replicas":
+            group = self._group()
+            for i, alive in enumerate(group.alive):
+                self._print(f"  replica {i}: {'live' if alive else 'DEAD'}")
         elif cmd == ".metrics":
             from repro.obs.metrics import format_snapshot
 
@@ -197,6 +230,23 @@ class FtlShell:
                     self._print(f"  ({', '.join(sig)})  [program]")
         else:
             raise ValueError(f"unknown command {cmd} (.help for help)")
+
+    def _group(self) -> Any:
+        group = getattr(self.rt, "group", None)
+        if group is None:
+            raise ValueError(
+                "this needs a parallel backend "
+                "(restart with --backend threaded or multiproc)"
+            )
+        return group
+
+    def _monkey(self) -> Any:
+        self._group()
+        if self._chaos is None:
+            from repro.chaos import ChaosMonkey
+
+            self._chaos = ChaosMonkey(self.rt)
+        return self._chaos
 
 
 def _parse_value(text: str) -> Any:
@@ -492,6 +542,119 @@ def _top_main(argv: list[str]) -> int:
     return 0
 
 
+def _chaos_main(argv: list[str]) -> int:
+    """``python -m repro.cli chaos``: kill a replica under churn, report."""
+    import json
+    import threading
+    import time
+
+    parser = _workload_parser(
+        "ftlsh chaos",
+        "drive churn on a parallel backend, hard-kill a seeded-random "
+        "replica mid-workload, and report detection/recovery latency",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="fault-injection RNG seed"
+    )
+    parser.add_argument(
+        "--warmup", type=float, default=0.3,
+        help="seconds of churn before the kill (default: 0.3)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    opts = parser.parse_args(argv)
+    if opts.backend == "local":
+        parser.error("chaos needs a parallel backend (--backend threaded|multiproc)")
+    if opts.replicas < 2:
+        parser.error("chaos needs at least 2 replicas")
+
+    from repro.chaos import ChaosMonkey
+    from repro.replication import LivenessPolicy
+
+    policy = LivenessPolicy(
+        probe_interval=0.05,
+        suspect_after=0.3,
+        auto_recover=True,
+        backoff_initial=0.05,
+    )
+    if opts.backend == "threaded":
+        from repro.parallel import ThreadedReplicaRuntime
+
+        rt: Any = ThreadedReplicaRuntime(
+            opts.replicas,
+            batching=not opts.no_batching,
+            detect_failures=policy,
+        )
+    else:
+        from repro.parallel import MultiprocessRuntime
+
+        rt = MultiprocessRuntime(
+            opts.replicas,
+            batching=not opts.no_batching,
+            detect_failures=policy,
+        )
+    monkey = ChaosMonkey(rt, seed=opts.seed)
+    stop = threading.Event()
+    completed = [0] * opts.clients
+
+    def churn(client: int) -> None:
+        k = 0
+        while not stop.is_set():
+            rt.out(rt.main_ts, "chaos-op", client, k)
+            rt.in_(rt.main_ts, "chaos-op", client, k)
+            completed[client] += 1
+            k += 1
+
+    threads = [
+        threading.Thread(target=churn, args=(c,), name=f"chaos-client-{c}")
+        for c in range(opts.clients)
+    ]
+    try:
+        for t in threads:
+            t.start()
+        time.sleep(opts.warmup)
+        victim = monkey.rng.randrange(1, opts.replicas)
+        monkey.kill_replica(victim)
+        t_detect = monkey.wait_detected(victim)
+        t_recover = monkey.wait_recovered(victim)
+        time.sleep(opts.warmup)  # churn over the healed group
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+    converged = rt.converged()
+    snap = rt.metrics_snapshot()
+    _shutdown(rt)
+    report = {
+        "backend": opts.backend,
+        "replicas": opts.replicas,
+        "seed": opts.seed,
+        "victim": victim,
+        "detect_s": round(t_detect, 4),
+        "recover_s": round(t_recover, 4),
+        "ops_completed": sum(completed),
+        "converged": converged,
+        "failures_detected": snap["counters"].get("failures_detected", 0),
+        "auto_recoveries": snap["counters"].get("auto_recoveries", 0),
+    }
+    if opts.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(
+            f"backend={opts.backend} replicas={opts.replicas} seed={opts.seed}"
+        )
+        print(
+            f"SIGKILLed replica {victim}: detected in {t_detect * 1e3:.0f}ms, "
+            f"auto-recovered in {t_recover * 1e3:.0f}ms"
+        )
+        print(
+            f"clients completed {sum(completed)} ops through the fault; "
+            f"converged={converged}"
+        )
+    return 0 if converged else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "metrics":
@@ -500,6 +663,8 @@ def main(argv: list[str] | None = None) -> int:
         return _trace_main(argv[1:])
     if argv and argv[0] == "top":
         return _top_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ftlsh", description="interactive FT-Linda shell"
     )
@@ -507,11 +672,43 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="no prompt (for piped scripts)"
     )
+    parser.add_argument(
+        "--backend",
+        choices=("local", "threaded", "multiproc"),
+        default="local",
+        help="runtime behind the shell (default: local); parallel backends "
+        "enable .kill/.recover/.replicas with the failure detector on",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=3, help="replica count (parallel backends)"
+    )
+    parser.add_argument(
+        "--auto-recover",
+        action="store_true",
+        help="let the liveness supervisor restart detected-dead replicas",
+    )
     opts = parser.parse_args(argv)
-    shell = FtlShell()
-    if opts.program:
-        shell.handle(f".load {opts.program}")
-    shell.repl(sys.stdin, prompt=not opts.quiet)
+    if opts.backend == "local":
+        rt: Any = LocalRuntime()
+    elif opts.backend == "threaded":
+        from repro.parallel import ThreadedReplicaRuntime
+
+        rt = ThreadedReplicaRuntime(
+            opts.replicas, detect_failures=True, auto_recover=opts.auto_recover
+        )
+    else:
+        from repro.parallel import MultiprocessRuntime
+
+        rt = MultiprocessRuntime(
+            opts.replicas, detect_failures=True, auto_recover=opts.auto_recover
+        )
+    shell = FtlShell(rt=rt)
+    try:
+        if opts.program:
+            shell.handle(f".load {opts.program}")
+        shell.repl(sys.stdin, prompt=not opts.quiet)
+    finally:
+        _shutdown(rt)
     return 0
 
 

@@ -745,6 +745,32 @@ class AGSResult:
         self.probe_results = dict(probe_results or {})
         self.error = error
 
+    def __eq__(self, other: Any) -> bool:
+        """Structural equality: results of identical executions compare equal.
+
+        Needed because results now live in replicated state (the state
+        machine's completed-request memo travels in snapshots, and
+        snapshots of identical histories must compare equal).  Errors are
+        compared by type and message — deterministic exceptions re-raised
+        at different sites are distinct objects with identical meaning.
+        """
+        if not isinstance(other, AGSResult):
+            return NotImplemented
+
+        def key(e: Any) -> Any:
+            return (type(e).__name__, str(e)) if isinstance(e, Exception) else e
+
+        return (
+            self.fired == other.fired
+            and self.bindings == other.bindings
+            and self.probe_results == other.probe_results
+            and key(self.error) == key(other.error)
+        )
+
+    # identity hashing, as before structural __eq__ existed: results are
+    # mutable-ish containers and are never used as value-keyed dict keys
+    __hash__ = object.__hash__
+
     @property
     def succeeded(self) -> bool:
         """True when some branch fired and its body completed."""

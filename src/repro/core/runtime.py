@@ -498,9 +498,7 @@ class LocalRuntime(BaseRuntime):
             )
 
     def _cancel_blocked(self, rid: int) -> None:
-        self._sm.blocked = [
-            b for b in self._sm.blocked if b.command.request_id != rid
-        ]
+        self._sm.unpark(rid)
 
     def create_space(
         self,

@@ -40,6 +40,7 @@ order).
 from __future__ import annotations
 
 import time
+from collections import deque
 from typing import Any, Mapping, Sequence
 
 from repro._errors import FormalBindingError, SpaceError, TupleError
@@ -70,6 +71,15 @@ FAILURE_TAG = "ft_failure"
 
 #: First field of the recovery tuple deposited when a host rejoins.
 RECOVERY_TAG = "ft_recovery"
+
+#: How many completed request ids each replica remembers for duplicate
+#: suppression (client retries after an unknown-outcome timeout).  Eviction
+#: is deterministic (insertion order, i.e. completion order in the total
+#: order), so every replica forgets the same ids at the same points.
+DEDUP_CAP = 4096
+
+#: Distinguishes "no memoized result" from a memoized result of any value.
+_NO_MEMO = object()
 
 
 class Command:
@@ -238,6 +248,18 @@ class TSStateMachine:
         self.failure_spaces = list(failure_spaces) if failure_spaces else [MAIN_TS]
         self.blocked: list[_Blocked] = []
         self.applied_count = 0
+        #: Completed-request memo for at-most-once semantics under client
+        #: retries: request_id -> result, bounded by DEDUP_CAP.  This IS
+        #: replicated state (it travels in snapshots and is maintained
+        #: deterministically), but it is excluded from fingerprints —
+        #: results are arbitrary objects without a stable cross-process
+        #: hash, and the memo is a deterministic function of the command
+        #: history the fingerprinted state already reflects.
+        self.completed: dict[int, Any] = {}
+        self._completed_order: deque[int] = deque()
+        #: Request ids currently parked in ``blocked`` — duplicates of a
+        #: parked statement are dropped instead of double-parked.
+        self._blocked_rids: set[int] = set()
         self.op_counts: dict[str, int] | None = {} if op_stats else None
         #: Local clock used for waiter/last-out stamps only (never state
         #: transitions).  The simulated cluster repoints it at virtual time.
@@ -257,12 +279,34 @@ class TSStateMachine:
         A single command can complete several requests: depositing a tuple
         may wake any number of blocked statements.  Completions are listed
         in deterministic wake order.
+
+        Duplicate suppression: a command whose request id already
+        completed replays the memoized result without re-executing, and a
+        duplicate of a statement still parked is dropped (the original
+        will complete it).  Both outcomes are pure functions of replicated
+        state, so retried submissions stay deterministic group-wide.
         """
+        rid = command.request_id
+        memo = self.completed.get(rid, _NO_MEMO)
+        if memo is not _NO_MEMO:
+            self.applied_count += 1
+            return [
+                Completion(
+                    rid,
+                    command.origin_host,
+                    getattr(command, "process_id", None),
+                    memo,
+                )
+            ]
+        if rid in self._blocked_rids:
+            self.applied_count += 1
+            return []
         completions: list[Completion] = []
         if isinstance(command, ExecuteAGS):
             result = self._try_execute(command.ags, command.process_id)
             if result is None:
                 self.blocked.append(_Blocked(command, self.clock()))
+                self._blocked_rids.add(rid)
             else:
                 completions.append(
                     Completion(
@@ -301,6 +345,7 @@ class TSStateMachine:
             for i, b in enumerate(self.blocked):
                 if b.command.request_id == target:
                     del self.blocked[i]
+                    self._blocked_rids.discard(target)
                     completions.append(
                         Completion(
                             target,
@@ -316,10 +361,40 @@ class TSStateMachine:
         elif isinstance(command, HostRecovered):
             self._deposit_notification(RECOVERY_TAG, command.recovered_host)
             self._drain_blocked(completions)
-        else:  # pragma: no cover - defensive
+        else:
+            # Unknown command types raise — and the replica apply loop's
+            # poison barrier turns that into a deterministic CommandFailed
+            # completion (the chaos harness injects exactly this).
             raise TypeError(f"unknown command type {type(command).__name__}")
         self.applied_count += 1
+        # Memoize every result produced by executing a command — but never
+        # a cancellation: a cancelled statement did NOT run, and a client
+        # that retries its id after an unknown-outcome timeout must get a
+        # fresh execution, not a replayed "cancelled".
+        if not isinstance(command, CancelRequest):
+            for c in completions:
+                self._remember(c.request_id, c.result)
         return completions
+
+    def _remember(self, request_id: int, result: Any) -> None:
+        if request_id not in self.completed:
+            self._completed_order.append(request_id)
+            if len(self._completed_order) > DEDUP_CAP:
+                evicted = self._completed_order.popleft()
+                del self.completed[evicted]
+        self.completed[request_id] = result
+
+    def unpark(self, request_id: int) -> None:
+        """Drop a parked statement without completing it (local timeout).
+
+        The single-host runtimes cancel under their own lock instead of
+        sequencing a :class:`CancelRequest`; this keeps the blocked list
+        and the duplicate-suppression index in step for them.
+        """
+        self.blocked = [
+            b for b in self.blocked if b.command.request_id != request_id
+        ]
+        self._blocked_rids.discard(request_id)
 
     def try_read(self, ags: AGS, process_id: int) -> AGSResult | None:
         """Evaluate a read-only AGS against current state, mutating nothing.
@@ -342,11 +417,13 @@ class TSStateMachine:
         # Blocked statements from the dead host will never be claimed;
         # dropping them is deterministic because HostFailed sits at a fixed
         # point in the total order.
-        self.blocked = [
-            b
-            for b in self.blocked
-            if b.command.origin_host != command.failed_host
-        ]
+        kept = []
+        for b in self.blocked:
+            if b.command.origin_host != command.failed_host:
+                kept.append(b)
+            else:
+                self._blocked_rids.discard(b.command.request_id)
+        self.blocked = kept
         self._deposit_notification(FAILURE_TAG, command.failed_host)
 
     def _deposit_notification(self, tag: str, host_id: int) -> None:
@@ -364,6 +441,7 @@ class TSStateMachine:
                 result = self._try_execute(cmd.ags, cmd.process_id)
                 if result is not None:
                     del self.blocked[i]
+                    self._blocked_rids.discard(cmd.request_id)
                     completions.append(
                         Completion(
                             cmd.request_id, cmd.origin_host, cmd.process_id, result
@@ -579,7 +657,9 @@ class TSStateMachine:
 
         Blocked commands are part of replicated state — a recovering
         replica must wake the same statements at the same points in the
-        order as everyone else.
+        order as everyone else.  The completed-request memo travels too,
+        in completion order, so a recovered replica suppresses the same
+        duplicate submissions as its donor.
         """
         return {
             "registry": self.registry.snapshot(stable_only=False),
@@ -593,6 +673,9 @@ class TSStateMachine:
                 for b in self.blocked
             ],
             "applied_count": self.applied_count,
+            "completed": [
+                (rid, self.completed[rid]) for rid in self._completed_order
+            ],
         }
 
     @classmethod
@@ -603,12 +686,22 @@ class TSStateMachine:
             _Blocked(ExecuteAGS(rid, host, pid, ags), t_install)
             for rid, host, pid, ags in snap["blocked"]
         ]
+        sm._blocked_rids = {b.command.request_id for b in sm.blocked}
         sm.applied_count = snap["applied_count"]
+        # .get(): snapshots written before the dedup memo existed lack it
+        for rid, result in snap.get("completed", ()):
+            sm.completed[rid] = result
+            sm._completed_order.append(rid)
         return sm
 
     def fingerprint(self) -> int:
         """Hash of all replicated state; equal across consistent replicas
         — including replicas in different OS processes (no hash salting).
+
+        The completed-request memo is deliberately excluded: results are
+        arbitrary objects with no stable cross-process hash, and the memo
+        is a deterministic function of the command history the rest of
+        the fingerprinted state already witnesses.
         """
         from repro.core.matching import stable_hash
 

@@ -27,7 +27,7 @@ import threading
 from bisect import bisect_left
 from typing import Any
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry", "format_snapshot"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "format_snapshot"]
 
 
 class Counter:
@@ -52,6 +52,40 @@ class Counter:
         self.inc(other.value)
 
     def snapshot(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A thread-safe instantaneous value (e.g. currently-live replicas).
+
+    Unlike :class:`Counter` it can go down.  ``merge`` sums — the only
+    composition that makes sense when aggregating per-group gauges such as
+    live-replica counts into a runtime-wide registry.
+    """
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def merge(self, other: "Gauge") -> None:
+        self.add(other.value)
+
+    def snapshot(self) -> float:
         return self._value
 
 
@@ -201,6 +235,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
@@ -209,6 +244,13 @@ class MetricsRegistry:
             if c is None:
                 c = self._counters[name] = Counter(name)
             return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge(name)
+            return g
 
     def histogram(self, name: str, **kwargs: Any) -> Histogram:
         with self._lock:
@@ -221,9 +263,12 @@ class MetricsRegistry:
         """Aggregate *other*'s instruments into this registry (per name)."""
         with other._lock:
             counters = list(other._counters.values())
+            gauges = list(other._gauges.values())
             histograms = list(other._histograms.values())
         for c in counters:
             self.counter(c.name).merge(c)
+        for g in gauges:
+            self.gauge(g.name).merge(g)
         for h in histograms:
             mine = self.histogram(
                 h.name,
@@ -237,9 +282,11 @@ class MetricsRegistry:
         """Plain-data image of every instrument (what tests/CLI consume)."""
         with self._lock:
             counters = dict(self._counters)
+            gauges = dict(self._gauges)
             histograms = dict(self._histograms)
         return {
             "counters": {n: c.snapshot() for n, c in sorted(counters.items())},
+            "gauges": {n: g.snapshot() for n, g in sorted(gauges.items())},
             "histograms": {n: h.snapshot() for n, h in sorted(histograms.items())},
         }
 
@@ -248,11 +295,16 @@ def format_snapshot(snap: dict[str, Any]) -> str:
     """Render a :meth:`MetricsRegistry.snapshot` for terminals."""
     lines: list[str] = []
     counters = snap.get("counters", {})
+    gauges = snap.get("gauges", {})
     histograms = snap.get("histograms", {})
     if counters:
         lines.append("counters:")
         for name, value in counters.items():
             lines.append(f"  {name:<24} {value}")
+    if gauges:
+        lines.append("gauges:")
+        for name, value in gauges.items():
+            lines.append(f"  {name:<24} {value:g}")
     if histograms:
         lines.append("histograms:")
         for name, h in histograms.items():

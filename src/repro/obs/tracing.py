@@ -187,7 +187,7 @@ def _track_sort_key(track: str) -> tuple[int, str]:
     """Client tracks first, then the sequencer, then replicas/hosts."""
     if track.startswith("client"):
         group = 0
-    elif track == "sequencer":
+    elif track in ("sequencer", "monitor"):
         group = 1
     elif track.startswith(("replica", "host")):
         group = 2

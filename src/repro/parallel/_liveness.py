@@ -1,0 +1,27 @@
+"""Shared kwarg plumbing for the parallel runtimes' liveness options."""
+
+from __future__ import annotations
+
+from repro.replication import LivenessPolicy
+
+__all__ = ["resolve_liveness"]
+
+
+def resolve_liveness(
+    detect_failures: bool | LivenessPolicy, auto_recover: bool
+) -> LivenessPolicy | None:
+    """Fold the runtime-level kwargs into one group-level policy.
+
+    ``auto_recover=True`` implies detection (a supervisor with no
+    detector would never fire), and overrides the flag on a caller-built
+    policy — the runtime kwarg is the more explicit request.
+    """
+    if isinstance(detect_failures, LivenessPolicy):
+        policy = detect_failures
+    elif detect_failures or auto_recover:
+        policy = LivenessPolicy()
+    else:
+        return None
+    if auto_recover:
+        policy.auto_recover = True
+    return policy

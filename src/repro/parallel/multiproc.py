@@ -40,14 +40,25 @@ from repro.core.spaces import Resilience, Scope, TSHandle
 from repro.core.statemachine import CreateSpace, DestroySpace, ExecuteAGS
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import FlightRecorder
-from repro.replication import PickleQueueTransport, ReplicaGroup
+from repro.parallel._liveness import resolve_liveness
+from repro.replication import LivenessPolicy, PickleQueueTransport, ReplicaGroup
 from repro.replication.group import CLIENT_ORIGIN
 
 __all__ = ["MultiprocessRuntime"]
 
 
 class MultiprocessRuntime(BaseRuntime):
-    """FT-Linda over N replica processes (see module docstring)."""
+    """FT-Linda over N replica processes (see module docstring).
+
+    ``detect_failures`` turns on the group's liveness plane — a monitor
+    thread combining in-band heartbeats with ``Process.is_alive()``
+    probes, so even a SIGKILLed replica is noticed and converted to
+    fail-stop without any cooperative ``crash_replica`` call.  Pass True
+    for the default :class:`~repro.replication.LivenessPolicy` or a
+    policy instance to tune it; ``auto_recover`` additionally respawns
+    the dead process and installs a donor snapshot, with capped
+    exponential backoff and a max-restarts budget.
+    """
 
     def __init__(
         self,
@@ -57,6 +68,8 @@ class MultiprocessRuntime(BaseRuntime):
         batching: bool = True,
         read_fastpath: bool = True,
         tracer: FlightRecorder | None = None,
+        detect_failures: bool | LivenessPolicy = False,
+        auto_recover: bool = False,
     ):
         super().__init__()
         self.group = ReplicaGroup(
@@ -64,6 +77,7 @@ class MultiprocessRuntime(BaseRuntime):
             batching=batching,
             read_fastpath=read_fastpath,
             tracer=tracer,
+            liveness=resolve_liveness(detect_failures, auto_recover),
         )
 
     @property

@@ -33,14 +33,21 @@ from repro.core.spaces import Resilience, Scope, TSHandle
 from repro.core.statemachine import CreateSpace, DestroySpace, ExecuteAGS
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import FlightRecorder
-from repro.replication import InMemoryTransport, ReplicaGroup
+from repro.parallel._liveness import resolve_liveness
+from repro.replication import InMemoryTransport, LivenessPolicy, ReplicaGroup
 from repro.replication.group import CLIENT_ORIGIN
 
 __all__ = ["ThreadedReplicaRuntime"]
 
 
 class ThreadedReplicaRuntime(BaseRuntime):
-    """FT-Linda over N threaded replicas (see module docstring)."""
+    """FT-Linda over N threaded replicas (see module docstring).
+
+    ``detect_failures`` turns on the group's liveness plane (pass True
+    for the defaults, or a :class:`~repro.replication.LivenessPolicy` to
+    tune it); ``auto_recover`` additionally restarts a detected-dead
+    replica thread and installs a snapshot from a live donor.
+    """
 
     def __init__(
         self,
@@ -49,6 +56,8 @@ class ThreadedReplicaRuntime(BaseRuntime):
         batching: bool = True,
         read_fastpath: bool = True,
         tracer: FlightRecorder | None = None,
+        detect_failures: bool | LivenessPolicy = False,
+        auto_recover: bool = False,
     ):
         super().__init__()
         self.group = ReplicaGroup(
@@ -56,6 +65,7 @@ class ThreadedReplicaRuntime(BaseRuntime):
             batching=batching,
             read_fastpath=read_fastpath,
             tracer=tracer,
+            liveness=resolve_liveness(detect_failures, auto_recover),
         )
 
     @property
@@ -106,6 +116,14 @@ class ThreadedReplicaRuntime(BaseRuntime):
     def crash_replica(self, replica_id: int, *, notify: bool = True) -> None:
         """Halt one replica; optionally deposit its failure tuple."""
         self.group.crash_replica(replica_id, notify=notify)
+
+    def recover_replica(self, replica_id: int, *, timeout: float = 30.0) -> None:
+        """Restart a halted replica thread and transfer state into it."""
+        self.group.recover_replica(replica_id, timeout=timeout)
+
+    def query(self, replica_id: int, what: str, arg=None, timeout: float = 30.0):
+        """In-band query: answered after all previously sequenced commands."""
+        return self.group.query(replica_id, what, arg, timeout=timeout)
 
     def inject_failure(self, host_id: int) -> None:
         """Deposit a failure tuple for a *logical* host (worker) id."""

@@ -26,6 +26,7 @@ record (crash mid-write) is detected and discarded during replay.
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
 import struct
@@ -142,6 +143,7 @@ class WALRuntime(LocalRuntime):
         rt.fsync = fsync
         rt.records_written = 0
         replayed = 0
+        highest_rid = 0
         with open(path, "rb") as f:
             while True:
                 header = f.read(_LEN.size)
@@ -157,12 +159,22 @@ class WALRuntime(LocalRuntime):
                     from repro.core.statemachine import TSStateMachine
 
                     rt._sm = TSStateMachine.from_snapshot(command.snapshot)
+                    inner = rt._logging_sm._inner
+                    for rid in inner.completed:
+                        highest_rid = max(highest_rid, rid)
+                    for b in inner.blocked:
+                        highest_rid = max(highest_rid, b.command.request_id)
                 else:
+                    highest_rid = max(highest_rid, command.request_id)
                     rt._logging_sm._inner.apply(command)
                 replayed += 1
         # recovery completions are dropped: their clients are gone
         rt._results.clear()
         rt.replayed = replayed
+        # resume request ids past the replayed history: the rebuilt state
+        # machine remembers completed ids (duplicate suppression), so a
+        # fresh command must never reuse one
+        rt._req_ids = itertools.count(highest_rid + 1)
         rt._log = open(path, "ab")
         return rt
 

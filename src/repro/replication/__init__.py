@@ -7,7 +7,9 @@ pipeline, factored out of any particular delivery mechanism:
 - :class:`~repro.replication.group.ReplicaGroup` — the transport-agnostic
   core: command sequencing (with batching), per-client parking,
   origin-replica completion matching with duplicate suppression,
-  crash/recovery bookkeeping, in-band queries, and runtime metrics;
+  crash/recovery bookkeeping, in-band queries, runtime metrics, and an
+  opt-in liveness plane (:class:`~repro.replication.group.LivenessPolicy`:
+  heartbeat + probe failure detector, self-healing auto-recovery);
 - :class:`~repro.replication.transport.Transport` — the seam a delivery
   mechanism implements: FIFO delivery of opaque items to N replica
   workers and a sink for what they emit;
@@ -19,7 +21,7 @@ thin adapters over this package; a future asyncio or socket backend is
 one new Transport implementation.
 """
 
-from repro.replication.group import ReplicaGroup
+from repro.replication.group import LivenessPolicy, ReplicaGroup
 from repro.replication.transport import (
     InMemoryTransport,
     PickleQueueTransport,
@@ -28,6 +30,7 @@ from repro.replication.transport import (
 
 __all__ = [
     "InMemoryTransport",
+    "LivenessPolicy",
     "PickleQueueTransport",
     "ReplicaGroup",
     "Transport",

@@ -61,7 +61,7 @@ import time
 from collections import deque
 from typing import Any
 
-from repro._errors import TimeoutError_
+from repro._errors import HostFailedError, RuntimeFailure, TimeoutError_
 from repro.core.ags import AGSResult
 from repro.core.spaces import TSHandle
 from repro.core.statemachine import (
@@ -75,7 +75,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import FlightRecorder
 from repro.replication.transport import Transport
 
-__all__ = ["ReplicaGroup"]
+__all__ = ["LivenessPolicy", "ReplicaGroup"]
 
 #: Origin-host id the group stamps on client commands.  Reserved: failure
 #: injection uses non-negative *logical* host ids, and HostFailed drops
@@ -89,6 +89,52 @@ _CANCEL_GRACE_S = 30.0
 #: Sentinel answer deposited into a pending query's slot when its target
 #: replica crashes — fail fast instead of stalling the full query timeout.
 _REPLICA_CRASHED = object()
+
+
+class LivenessPolicy:
+    """Tuning for the failure detector and the self-healing supervisor.
+
+    The detector declares a replica dead only when BOTH halves agree: it
+    has been *silent* on the feedback lane for at least ``suspect_after``
+    seconds (no completion, query answer, or heartbeat PONG) AND the
+    transport-level probe (``Process.is_alive()`` / thread aliveness)
+    fails.  Silence alone is just suspicion — a replica grinding through
+    a huge batch is quiet but healthy, and the probe keeps it from being
+    shot.  A dead vehicle alone is caught within one ``probe_interval``
+    of the silence threshold, which bounds detection latency at roughly
+    ``suspect_after + probe_interval``.
+
+    ``auto_recover`` additionally drives the snapshot/install recovery
+    protocol after each detected death, waiting out a capped exponential
+    backoff (``backoff_initial`` doubling up to ``backoff_max``) between
+    a replica's successive restarts and giving up for good after
+    ``max_restarts`` attempts — a crash-looping replica must not consume
+    the group.
+    """
+
+    __slots__ = (
+        "probe_interval", "suspect_after", "auto_recover", "max_restarts",
+        "backoff_initial", "backoff_max",
+    )
+
+    def __init__(
+        self,
+        *,
+        probe_interval: float = 0.25,
+        suspect_after: float = 1.0,
+        auto_recover: bool = False,
+        max_restarts: int = 3,
+        backoff_initial: float = 0.1,
+        backoff_max: float = 2.0,
+    ):
+        if probe_interval <= 0 or suspect_after <= 0:
+            raise ValueError("probe_interval and suspect_after must be positive")
+        self.probe_interval = probe_interval
+        self.suspect_after = suspect_after
+        self.auto_recover = auto_recover
+        self.max_restarts = max_restarts
+        self.backoff_initial = backoff_initial
+        self.backoff_max = backoff_max
 
 
 class _Waiter:
@@ -122,6 +168,7 @@ class ReplicaGroup:
         read_fastpath: bool = True,
         metrics: MetricsRegistry | None = None,
         tracer: FlightRecorder | None = None,
+        liveness: LivenessPolicy | bool | None = None,
     ):
         self.transport = transport
         self.n_replicas = transport.n_replicas
@@ -130,6 +177,9 @@ class ReplicaGroup:
         self.alive = [True] * self.n_replicas
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
+        if liveness is True:
+            liveness = LivenessPolicy()
+        self.liveness: LivenessPolicy | None = liveness or None
         self._req_ids = itertools.count(1)
         self._qids = itertools.count(1)
         self._seq_lock = threading.Lock()  # holding this IS the total order
@@ -166,6 +216,25 @@ class ReplicaGroup:
         self._c_batches = self.metrics.counter("batches_shipped")
         self._c_read_fast = self.metrics.counter("read_fastpath")
         self._c_read_fallback = self.metrics.counter("read_fallback")
+        self._c_failures = self.metrics.counter("failures_detected")
+        self._c_autorec = self.metrics.counter("auto_recoveries")
+        self._h_detect = self.metrics.histogram("detection_latency")
+        self._g_live = self.metrics.gauge("live_replicas")
+        self._g_live.set(self.n_replicas)
+        #: Set when an internal thread (sequencer) died: the group can no
+        #: longer order commands, and every call fails fast instead of
+        #: hanging (read before registering, re-checked via the waiter
+        #: sweep in _mark_failed).
+        self._group_error: str | None = None
+        #: Liveness bookkeeping (all monotonic stamps).  _last_seen is
+        #: refreshed by ANY feedback-lane emission — completions double as
+        #: heartbeats, and in-band PING/PONG covers idle replicas.
+        self._last_seen = [time.monotonic()] * self.n_replicas
+        self._restarts = [0] * self.n_replicas
+        #: replica -> earliest monotonic time its next restart may run.
+        self._recover_pending: dict[int, float] = {}
+        self._monitor_stop = threading.Event()
+        self._monitor_thread: threading.Thread | None = None
         self._stopped = False
         transport.start(self._on_worker_item)
         self._kick = threading.Event()
@@ -182,6 +251,11 @@ class ReplicaGroup:
                     daemon=True,
                 )
                 self._read_thread.start()
+        if self.liveness is not None:
+            self._monitor_thread = threading.Thread(
+                target=self._monitor_loop, name="liveness-monitor", daemon=True
+            )
+            self._monitor_thread.start()
 
     # ------------------------------------------------------------------ #
     # sequencing (the bus)
@@ -190,7 +264,14 @@ class ReplicaGroup:
     def next_request_id(self) -> int:
         return next(self._req_ids)
 
-    def call(self, cmd: Command, timeout: float | None = None) -> Any:
+    def call(
+        self,
+        cmd: Command,
+        timeout: float | None = None,
+        *,
+        retries: int = 0,
+        backoff: float = 0.05,
+    ) -> Any:
         """Sequence *cmd*, park until its completion, return the result.
 
         Read-only statements take the read fast path when enabled: they
@@ -203,7 +284,40 @@ class ReplicaGroup:
         order* (a :class:`CancelRequest`), then whichever outcome won the
         race — completion or cancellation — is taken, so a timed-out
         ``in`` can never consume a tuple it did not report.
+
+        With ``retries`` > 0, a :class:`TimeoutError_` or
+        :class:`HostFailedError` triggers transparent resubmission (up to
+        that many extra attempts, sleeping a doubling ``backoff`` between
+        them) **with the same request id**: the replicas' completed-request
+        memo replays a result that already applied instead of executing
+        twice, and a statement the ordered cancel provably withdrew is
+        simply re-executed — at-most-once either way.
         """
+        attempt = 0
+        while True:
+            try:
+                result = self._call_once(cmd, timeout)
+            except (TimeoutError_, HostFailedError):
+                if attempt >= retries:
+                    raise
+            else:
+                if not (
+                    retries
+                    and isinstance(result, AGSResult)
+                    and result.error == "cancelled"
+                ):
+                    return result
+                # A stale cancel from an earlier timed-out attempt won the
+                # race against this resubmission; the statement did not
+                # run, so retrying it is safe.
+                if attempt >= retries:
+                    return result
+            attempt += 1
+            if backoff > 0:
+                time.sleep(min(backoff * (2 ** (attempt - 1)), 1.0))
+
+    def _call_once(self, cmd: Command, timeout: float | None = None) -> Any:
+        """One submission attempt of :meth:`call` (no retry policy)."""
         w = _Waiter(time.monotonic())
         tracer = self.tracer
         if tracer is not None:
@@ -211,6 +325,12 @@ class ReplicaGroup:
             w.track = f"client:{threading.current_thread().name}"
         with self._state_lock:
             self._waiters[cmd.request_id] = w
+        if self._group_error is not None:
+            # registered-then-checked: whichever side _mark_failed's sweep
+            # lands on, this waiter is popped and the call raises
+            with self._state_lock:
+                self._waiters.pop(cmd.request_id, None)
+            raise RuntimeFailure(self._group_error)
         self._c_cmds.inc()
         if (
             self.read_fastpath
@@ -222,8 +342,24 @@ class ReplicaGroup:
                 return self._await_read(cmd, w, timeout)
         self._ship(cmd, w)
         if w.event.wait(timeout):
-            return w.slot[0]
+            return self._resolve(w.slot[0])
         return self._finish_ordered_timeout(cmd, w, timeout)
+
+    @staticmethod
+    def _resolve(result: Any) -> Any:
+        """Raise failure results (poison commands, group death) in the caller.
+
+        A :class:`RuntimeFailure` instance in a waiter slot is an outcome
+        the replicas (or the group itself) computed for this request —
+        ``CommandFailed`` from the apply loop's poison barrier, or the
+        group-failed error — and must surface as an exception, not a
+        return value.  Deterministic *domain* results (``AGSResult`` with
+        an error, ``SpaceError`` from create/destroy) pass through
+        untouched; the runtime layer interprets those.
+        """
+        if isinstance(result, RuntimeFailure):
+            raise result
+        return result
 
     def _finish_ordered_timeout(
         self, cmd: Command, w: _Waiter, timeout: float | None
@@ -233,11 +369,16 @@ class ReplicaGroup:
         if not w.event.wait(_CANCEL_GRACE_S):
             with self._state_lock:
                 self._waiters.pop(cmd.request_id, None)
-            raise TimeoutError_("replica group unresponsive")
+            # neither the completion nor the cancel reported back: the
+            # command may yet apply, and only the request-id memo makes a
+            # resubmission safe
+            raise TimeoutError_("replica group unresponsive", outcome="unknown")
         result = w.slot[0]
         if isinstance(result, AGSResult) and result.error == "cancelled":
-            raise TimeoutError_(f"guard not satisfied within {timeout}s")
-        return result
+            raise TimeoutError_(
+                f"guard not satisfied within {timeout}s", outcome="cancelled"
+            )
+        return self._resolve(result)
 
     # ------------------------------------------------------------------ #
     # the read fast path
@@ -299,7 +440,7 @@ class ReplicaGroup:
         """Wait out a fast-path read; degrade to the ordered ladder."""
         if w.event.wait(timeout):
             self._h_read.record(time.monotonic() - w.t_submit)
-            return w.slot[0]
+            return self._resolve(w.slot[0])
         with self._state_lock:
             owned = self._reads.pop(cmd.request_id, None)
             if owned is not None:
@@ -309,7 +450,8 @@ class ReplicaGroup:
             # and reads consume nothing, so no ordered cancel is needed.
             raise TimeoutError_(f"guard not satisfied within {timeout}s")
         if w.event.is_set():
-            return w.slot[0]  # completion won the race with the deadline
+            # completion won the race with the deadline
+            return self._resolve(w.slot[0])
         # The read fell back to the ordered path before the deadline and
         # is parked there — wait for the reship to actually be enqueued
         # (the fallback claim and its _ship are not atomic), then withdraw
@@ -342,6 +484,8 @@ class ReplicaGroup:
 
     def post(self, cmd: Command) -> None:
         """Sequence *cmd* without waiting for any completion."""
+        if self._group_error is not None:
+            raise RuntimeFailure(self._group_error)
         tracer = self.tracer
         if tracer is not None:
             cmd.trace_id = tracer.next_trace_id()
@@ -384,18 +528,55 @@ class ReplicaGroup:
         marshalling one batch, every concurrently submitting client simply
         appends — so the next batch is as large as the current one was
         slow, and per-command marshalling cost amortizes under load.
+
+        An unexpected exception here is fatal to the whole group — nothing
+        can be ordered any more — so it marks the group failed and wakes
+        every parked client with :class:`RuntimeFailure` instead of
+        leaving them to hang forever against a dead bus.
         """
-        while True:
-            self._kick.wait()
-            self._kick.clear()
+        try:
             while True:
-                with self._seq_lock:
-                    if not self._flush_pending_locked():
-                        break
-            if self._stopped:
-                with self._seq_lock:
-                    self._flush_pending_locked()
-                return
+                self._kick.wait()
+                self._kick.clear()
+                while True:
+                    with self._seq_lock:
+                        if not self._flush_pending_locked():
+                            break
+                if self._stopped:
+                    with self._seq_lock:
+                        self._flush_pending_locked()
+                    return
+        except Exception as exc:  # noqa: BLE001 - the group must not wedge
+            self._mark_failed(
+                f"sequencer thread died: {type(exc).__name__}: {exc}"
+            )
+
+    def _mark_failed(self, reason: str) -> None:
+        """The group can no longer order commands: fail everything, fast.
+
+        Every parked waiter wakes with a :class:`RuntimeFailure` (a fresh
+        instance each, so tracebacks don't cross threads), every pending
+        query gets the crashed sentinel, and subsequent calls/posts raise
+        at entry via ``_group_error``.
+        """
+        self._group_error = reason
+        with self._state_lock:
+            waiters = list(self._waiters.values())
+            self._waiters.clear()
+            queries = list(self._queries.values())
+            self._queries.clear()
+            self._reads.clear()
+        for w in waiters:
+            w.slot.append(RuntimeFailure(reason))
+            w.event.set()
+        for event, slot in queries:
+            slot.append(_REPLICA_CRASHED)
+            event.set()
+        if self.tracer is not None:
+            self.tracer.record_span(
+                time.monotonic(), "sequencer", "group", "group_failed",
+                args={"reason": reason, "waiters_failed": len(waiters)},
+            )
 
     def _read_flusher_loop(self) -> None:
         """Drain the read lane into per-replica READS batches until shutdown.
@@ -407,26 +588,42 @@ class ReplicaGroup:
         previous send was slow.  A read enqueued for a replica that
         crashed after registration still gets shipped here; the dead
         FIFO drops it, and the crash handler's reroute owns the outcome.
+
+        Unlike the sequencer, this thread's death is survivable: the fast
+        path degrades to direct sends (``_read_thread`` is cleared, which
+        is exactly the condition ``_send_read`` already checks), and any
+        read stranded on the queue is rerouted through the total order.
         """
         pending = self._read_pending
-        while True:
-            self._read_kick.wait()
-            self._read_kick.clear()
-            while pending:
-                by_replica: dict[int, list[tuple[int, ExecuteAGS]]] = {}
+        try:
+            while True:
+                self._read_kick.wait()
+                self._read_kick.clear()
+                while pending:
+                    by_replica: dict[int, list[tuple[int, ExecuteAGS]]] = {}
+                    try:
+                        while True:
+                            replica, floor, cmd = pending.popleft()
+                            by_replica.setdefault(replica, []).append((floor, cmd))
+                    except IndexError:
+                        pass
+                    # hold the lane lock while shipping so concurrent readers
+                    # keep feeding the next batch instead of racing us
+                    with self._read_send_lock:
+                        for replica, reads in by_replica.items():
+                            self.transport.send(replica, ("READS", reads))
+                if self._stopped:
+                    return
+        except Exception:  # noqa: BLE001 - degrade, don't strand readers
+            self._read_thread = None
+            while True:
                 try:
-                    while True:
-                        replica, floor, cmd = pending.popleft()
-                        by_replica.setdefault(replica, []).append((floor, cmd))
+                    entry = pending.popleft()
                 except IndexError:
-                    pass
-                # hold the lane lock while shipping so concurrent readers
-                # keep feeding the next batch instead of racing us
-                with self._read_send_lock:
-                    for replica, reads in by_replica.items():
-                        self.transport.send(replica, ("READS", reads))
-            if self._stopped:
-                return
+                    break
+                if len(entry) != 3:
+                    continue  # the malformed item that killed the loop
+                self._fallback_read(entry[2].request_id)
 
     def _broadcast_batch(self, batch: list[tuple[Command, _Waiter | None]]) -> None:
         now = time.monotonic()
@@ -507,7 +704,12 @@ class ReplicaGroup:
             w.event.set()
 
     def _on_worker_item(self, replica_id: int, item: tuple) -> None:
+        # any emission proves the apply loop is running: completions (and
+        # everything else on the feedback lane) double as heartbeats
+        self._last_seen[replica_id] = time.monotonic()
         kind = item[0]
+        if kind == "PONG":
+            return  # the timestamp refresh above was the whole point
         if kind == "COMP":
             self._complete(replica_id, item[1], item[2])
         elif kind == "COMPS":
@@ -602,13 +804,29 @@ class ReplicaGroup:
 
     def crash_replica(self, replica_id: int, *, notify: bool = True) -> None:
         """Halt one replica mid-stream; optionally deposit its failure tuple."""
+        self._declare_dead(replica_id, notify=notify, cause="crash_replica")
+
+    def _declare_dead(
+        self, replica_id: int, *, notify: bool = True, cause: str = "detector"
+    ) -> bool:
+        """The single path out of the live set, cooperative or detected.
+
+        Returns False when the replica was already dead (the idempotence
+        that lets the detector and a concurrent ``crash_replica`` race
+        safely).  Everything the paper's fail-stop conversion needs
+        happens here: the alive-mask flip under the sequencer lock, the
+        ordered ``HostFailed`` (one failure tuple at the same slot on
+        every survivor), failing pending queries fast and rerouting
+        stranded fast-path reads.
+        """
         with self._seq_lock:
             # the sequencer reads the alive mask while broadcasting; flip
             # it under the same lock so a batch never ships against a
             # half-updated live set
             if not self.alive[replica_id]:
-                return
+                return False
             self.alive[replica_id] = False
+        self._g_live.set(len(self.live_replicas()))
         self.transport.stop_replica(replica_id)
         # anything parked on the dead replica can never be answered by it:
         # fail its pending queries fast, reroute its outstanding reads
@@ -616,10 +834,109 @@ class ReplicaGroup:
         self._reroute_reads(replica_id)
         if self.tracer is not None:
             self.tracer.record_span(
-                time.monotonic(), f"replica-{replica_id}", "membership", "crash"
+                time.monotonic(), f"replica-{replica_id}", "membership", "crash",
+                args={"cause": cause},
             )
         if notify and any(self.alive):
             self.post(HostFailed(self.next_request_id(), CLIENT_ORIGIN, replica_id))
+        return True
+
+    # ------------------------------------------------------------------ #
+    # failure detection + self-healing (the liveness plane)
+    # ------------------------------------------------------------------ #
+
+    def _monitor_loop(self) -> None:
+        """Detect dead replicas; drive auto-recovery.  One thread, opt-in.
+
+        Each tick pings every live replica in-band (a healthy replica's
+        PONG — or any other emission — refreshes ``_last_seen``), then
+        declares dead any replica that is BOTH silent past
+        ``suspect_after`` AND failing the transport probe.  Silence alone
+        never kills: a replica buried in a long batch answers its PING
+        late but its process/thread is demonstrably alive.  The dead are
+        declared through the same path as a cooperative ``crash_replica``,
+        so survivors see one ordered failure tuple at one slot.
+        """
+        policy = self.liveness
+        assert policy is not None
+        while not self._monitor_stop.wait(policy.probe_interval):
+            if self._stopped or self._group_error is not None:
+                return
+            now = time.monotonic()
+            for i in range(self.n_replicas):
+                if not self.alive[i]:
+                    continue
+                try:
+                    self.transport.send(i, ("PING",))
+                except Exception:  # noqa: BLE001 - a dying queue is itself a signal
+                    pass
+                silent = now - self._last_seen[i]
+                if silent < policy.suspect_after:
+                    continue
+                if self.transport.probe(i):
+                    continue  # suspect, but demonstrably alive: keep waiting
+                self._detected_failure(i, silent)
+            self._drive_recoveries(time.monotonic())
+
+    def _detected_failure(self, replica_id: int, silent: float) -> None:
+        if not self._declare_dead(replica_id, notify=True, cause="detector"):
+            return  # raced a cooperative crash_replica; it owned the death
+        self._c_failures.inc()
+        self._h_detect.record(silent)
+        if self.tracer is not None:
+            self.tracer.record_span(
+                time.monotonic(), "monitor", "liveness", "detect",
+                args={"replica": replica_id, "silent_s": round(silent, 4)},
+            )
+        policy = self.liveness
+        if (
+            policy is not None
+            and policy.auto_recover
+            and self.transport.supports_recovery
+        ):
+            self._schedule_recovery(replica_id)
+
+    def _schedule_recovery(self, replica_id: int) -> None:
+        policy = self.liveness
+        assert policy is not None
+        attempts = self._restarts[replica_id]
+        if attempts >= policy.max_restarts:
+            if self.tracer is not None:
+                self.tracer.record_span(
+                    time.monotonic(), "monitor", "liveness", "gave_up",
+                    args={"replica": replica_id, "restarts": attempts},
+                )
+            return  # crash-looping: the restart budget is spent
+        delay = min(
+            policy.backoff_initial * (2.0 ** attempts), policy.backoff_max
+        )
+        self._recover_pending[replica_id] = time.monotonic() + delay
+
+    def _drive_recoveries(self, now: float) -> None:
+        for replica_id, due in list(self._recover_pending.items()):
+            if self.alive[replica_id]:
+                self._recover_pending.pop(replica_id, None)
+                continue
+            if now < due:
+                continue
+            self._recover_pending.pop(replica_id, None)
+            self._restarts[replica_id] += 1
+            t0 = time.monotonic()
+            try:
+                self.recover_replica(replica_id)
+            except Exception:  # noqa: BLE001 - retry with more backoff
+                self._schedule_recovery(replica_id)
+            else:
+                self._c_autorec.inc()
+                if self.tracer is not None:
+                    self.tracer.record_span(
+                        t0, "monitor", "liveness", "auto_recover",
+                        dur=time.monotonic() - t0,
+                        args={
+                            "replica": replica_id,
+                            "attempt": self._restarts[replica_id],
+                        },
+                    )
 
     def inject_failure(self, host_id: int) -> None:
         """Deposit a failure tuple for a *logical* host (worker) id."""
@@ -657,6 +974,25 @@ class ReplicaGroup:
                 replica_id, ("INSTALL", qid2, snapshot, applied)
             )
             self.alive[replica_id] = True
+            # a rejoining replica starts with a clean liveness slate —
+            # without this the monitor would re-suspect it instantly
+            self._last_seen[replica_id] = time.monotonic()
+            # broadcast the recovery tuple before anyone can observe the
+            # flipped alive mask: a caller polling ``alive`` must never
+            # fingerprint the group with HostRecovered applied on some
+            # replicas but still un-sequenced for others (``post`` would
+            # retake the sequencer lock on the unbatched path, so ship
+            # directly — we already hold the order)
+            rec = HostRecovered(
+                self.next_request_id(), CLIENT_ORIGIN, replica_id
+            )
+            if self.tracer is not None:
+                rec.trace_id = self.tracer.next_trace_id()
+            with self._pending_lock:
+                self._sequenced += 1
+            self._broadcast_batch([(rec, None)])
+        self._g_live.set(len(self.live_replicas()))
+        self._recover_pending.pop(replica_id, None)
         if not event2.wait(timeout):
             with self._state_lock:
                 self._queries.pop((qid2, replica_id), None)
@@ -669,7 +1005,6 @@ class ReplicaGroup:
                 "recover",
                 args={"applied": applied},
             )
-        self.post(HostRecovered(self.next_request_id(), CLIENT_ORIGIN, replica_id))
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -767,6 +1102,9 @@ class ReplicaGroup:
         if self._stopped:
             return
         self._stopped = True
+        if self._monitor_thread is not None:
+            self._monitor_stop.set()
+            self._monitor_thread.join(timeout=5.0)
         if self._seq_thread is not None:
             self._kick.set()
             self._seq_thread.join(timeout=5.0)

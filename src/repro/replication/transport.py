@@ -76,15 +76,31 @@ class Transport(Protocol):
         """Replace a stopped replica with a fresh, empty worker."""
         ...
 
+    def probe(self, replica_id: int) -> bool:
+        """Liveness probe: is the worker's execution vehicle still alive?
+
+        ``Process.is_alive()`` for process transports, thread aliveness
+        for in-memory ones.  This is the *non-cooperative* half of failure
+        detection — a SIGKILLed process fails the probe even though it can
+        no longer say anything on the feedback lane.
+        """
+        ...
+
     def shutdown(self, alive: Sequence[bool]) -> None:
         """Stop all workers and reap transport resources."""
         ...
 
 
 class InMemoryTransport:
-    """Per-replica FIFO + daemon applier thread, all in one process."""
+    """Per-replica FIFO + daemon applier thread, all in one process.
 
-    supports_recovery = False
+    Every replica slot carries an *incarnation* number, bumped on each
+    stop: a worker thread's emissions are fenced by the incarnation it was
+    started under, so anything a stopped (or stopping) thread still says
+    can never be attributed to a reincarnated replica in the same slot.
+    """
+
+    supports_recovery = True
 
     def __init__(self, n_replicas: int):
         if n_replicas < 1:
@@ -94,23 +110,39 @@ class InMemoryTransport:
             queue.Queue() for _ in range(n_replicas)
         ]
         self._halted = [threading.Event() for _ in range(n_replicas)]
-        self._threads: list[threading.Thread] = []
+        self._threads: list[threading.Thread | None] = [None] * n_replicas
+        self._incarnations = [0] * n_replicas
+        self._sink: Sink | None = None
 
     def start(self, sink: Sink) -> None:
+        self._sink = sink
         for i in range(self.n_replicas):
-            t = threading.Thread(
-                target=replica_loop,
-                args=(
-                    i,
-                    self._fifos[i].get,
-                    lambda item, i=i: sink(i, item),
-                    self._halted[i].is_set,
+            self._spawn_worker(i)
+
+    def _spawn_worker(self, replica_id: int) -> None:
+        incarnation = self._incarnations[replica_id]
+        t = threading.Thread(
+            target=replica_loop,
+            args=(
+                replica_id,
+                self._fifos[replica_id].get,
+                lambda item, i=replica_id, inc=incarnation: self._deliver(
+                    i, inc, item
                 ),
-                name=f"replica-{i}",
-                daemon=True,
-            )
-            self._threads.append(t)
-            t.start()
+                self._halted[replica_id].is_set,
+            ),
+            name=f"replica-{replica_id}.{incarnation}",
+            daemon=True,
+        )
+        self._threads[replica_id] = t
+        t.start()
+
+    def _deliver(self, replica_id: int, incarnation: int, item: tuple) -> None:
+        if self._incarnations[replica_id] != incarnation:
+            return  # a stale worker: the slot has been reincarnated since
+        sink = self._sink
+        if sink is not None:
+            sink(replica_id, item)
 
     def send(self, replica_id: int, item: tuple) -> None:
         self._fifos[replica_id].put(item)
@@ -122,13 +154,28 @@ class InMemoryTransport:
         return None
 
     def stop_replica(self, replica_id: int) -> None:
-        # the halt flag drops anything still queued (mid-stream crash); the
-        # STOP sentinel wakes a worker blocked on an empty FIFO
+        # fence first, so nothing the dying worker still emits gets
+        # through; the halt flag drops anything still queued (mid-stream
+        # crash); the STOP sentinel wakes a worker blocked on an empty FIFO
+        self._incarnations[replica_id] += 1
         self._halted[replica_id].set()
         self._fifos[replica_id].put(("STOP",))
 
     def restart_replica(self, replica_id: int) -> None:
-        raise NotImplementedError("in-memory transport has no replica restart")
+        # fresh FIFO and halt flag: the old ones belong to the dead
+        # incarnation (its FIFO may hold undelivered batches that must not
+        # reach the blank restarted state machine)
+        self._fifos[replica_id] = queue.Queue()
+        self._halted[replica_id] = threading.Event()
+        self._spawn_worker(replica_id)
+
+    def probe(self, replica_id: int) -> bool:
+        t = self._threads[replica_id]
+        return (
+            t is not None
+            and t.is_alive()
+            and not self._halted[replica_id].is_set()
+        )
 
     def shutdown(self, alive: Sequence[bool]) -> None:
         for i in range(self.n_replicas):
@@ -146,6 +193,12 @@ class PickleQueueTransport:
     One result queue PER replica: a replica SIGKILLed mid-``put`` can
     corrupt its queue's pipe, and with a shared queue that would silently
     strand every other replica's completions.
+
+    Replica slots are fenced by *incarnation*: ``stop_replica`` bumps the
+    slot's incarnation, and both the collector loop and final delivery
+    check it — a feedback item from the dead child (still sitting in the
+    poisoned result queue, or mid-read by the stale collector) can never
+    be attributed to the reincarnated replica that reuses the slot.
     """
 
     supports_recovery = True
@@ -159,7 +212,7 @@ class PickleQueueTransport:
         self.result_qs = [self._ctx.Queue() for _ in range(n_replicas)]
         self.processes: list[Any] = []
         self._collectors: list[threading.Thread] = []
-        self._collecting = [True] * n_replicas
+        self._incarnations = [0] * n_replicas
         self._running = False
         self._sink: Sink | None = None
 
@@ -182,23 +235,40 @@ class PickleQueueTransport:
     def _start_collector(self, replica_id: int) -> None:
         t = threading.Thread(
             target=self._collect,
-            args=(replica_id, self.result_qs[replica_id]),
-            name=f"mp-collector-{replica_id}",
+            args=(
+                replica_id,
+                self.result_qs[replica_id],
+                self._incarnations[replica_id],
+            ),
+            name=f"mp-collector-{replica_id}.{self._incarnations[replica_id]}",
             daemon=True,
         )
         self._collectors.append(t)
         t.start()
 
-    def _collect(self, replica_id: int, result_q: Any) -> None:
-        # bind the queue at thread start: restart_replica swaps the slot in
-        # self.result_qs, and the stale collector must not steal from it
-        while self._running and self._collecting[replica_id]:
+    def _collect(self, replica_id: int, result_q: Any, incarnation: int) -> None:
+        # bind the queue AND incarnation at thread start: restart_replica
+        # swaps the slot in self.result_qs, and the stale collector must
+        # neither steal from the new queue nor deliver from the old one
+        while self._running and self._incarnations[replica_id] == incarnation:
             try:
                 item = result_q.get(timeout=0.2)
             except Exception:
                 continue
-            assert self._sink is not None
-            self._sink(replica_id, item)
+            self._deliver(replica_id, incarnation, item)
+
+    def _deliver(self, replica_id: int, incarnation: int, item: tuple) -> None:
+        """Forward *item* to the sink unless its incarnation is stale.
+
+        The final fence: even an item already pulled off the dead child's
+        result queue is dropped here once ``stop_replica`` has bumped the
+        slot, so it cannot be attributed to the reincarnated replica.
+        """
+        if self._incarnations[replica_id] != incarnation:
+            return
+        sink = self._sink
+        if sink is not None:
+            sink(replica_id, item)
 
     def send(self, replica_id: int, item: tuple) -> None:
         self.cmd_queues[replica_id].put(item)
@@ -214,14 +284,26 @@ class PickleQueueTransport:
         return len(blob)
 
     def stop_replica(self, replica_id: int) -> None:
-        self._collecting[replica_id] = False
+        # fence first: once the incarnation is bumped the old collector
+        # exits and anything it already pulled is dropped at _deliver
+        self._incarnations[replica_id] += 1
         proc = self.processes[replica_id]
         if proc.is_alive():
             proc.kill()
         proc.join(timeout=10)
 
     def restart_replica(self, replica_id: int) -> None:
-        # fresh queues: the old ones may be poisoned by the SIGKILL
+        # fresh queues: the old ones may be poisoned by the SIGKILL.
+        # Retire the dead child's queues explicitly so their feeder
+        # threads don't linger; the stale collector's blocked get() raises
+        # on the closed queue, is swallowed, and the incarnation check
+        # ends its loop.
+        for stale in (self.cmd_queues[replica_id], self.result_qs[replica_id]):
+            try:
+                stale.cancel_join_thread()
+                stale.close()
+            except Exception:
+                pass
         self.cmd_queues[replica_id] = self._ctx.Queue()
         self.result_qs[replica_id] = self._ctx.Queue()
         proc = self._ctx.Process(
@@ -231,8 +313,12 @@ class PickleQueueTransport:
         )
         proc.start()
         self.processes[replica_id] = proc
-        self._collecting[replica_id] = True
         self._start_collector(replica_id)
+
+    def probe(self, replica_id: int) -> bool:
+        if not self.processes:
+            return True  # not started yet: nothing to suspect
+        return bool(self.processes[replica_id].is_alive())
 
     def shutdown(self, alive: Sequence[bool]) -> None:
         if not self._running:

@@ -22,6 +22,12 @@ received                              meaning
                                       write lane's batch amortization
 ``("SNAPSHOT", qid)``                 emit a state-transfer snapshot
 ``("INSTALL", qid, snap, applied)``   replace state with a snapshot
+``("PING",)``                         liveness probe; answer immediately
+                                      with ``("PONG", applied)`` — an
+                                      in-band heartbeat, so a wedged or
+                                      dead apply loop stops answering
+``("SLEEP", seconds)``                chaos injection: stall this replica's
+                                      delivery lane for *seconds*
 ``("STOP",)`` / ``None``              exit the loop
 
 emitted
@@ -34,6 +40,7 @@ emitted
 ``("READMISS", request_id)``          a read whose blocking guard cannot
                                       fire on local state; the group
                                       reroutes it through the total order
+``("PONG", applied)``                 heartbeat answer to a PING
 ``("QUERY", qid, replica_id, ans)``   a query/snapshot/install answer
 ``("SPANS", [(trace_id, request_id,   apply-span records for the traced
   slot, ts, dur), ...])``             commands of one batch — emitted only
@@ -55,9 +62,36 @@ import pickle
 import time
 from typing import Any, Callable
 
-from repro.core.statemachine import TSStateMachine
+from repro._errors import CommandFailed
+from repro.core.statemachine import Completion, TSStateMachine
 
 __all__ = ["replica_loop", "run_replica_process"]
+
+
+def _apply_hardened(sm: TSStateMachine, cmd: Any) -> list[Completion]:
+    """Apply *cmd*, converting a raising apply into a failed completion.
+
+    State-machine applies are deterministic, so an exception raised here
+    raises identically on every replica — each one independently produces
+    the same ``CommandFailed`` completion and the group's dedup collapses
+    them, exactly like a successful command.  The poison command consumes
+    its slot without forking or wedging the group.
+    """
+    try:
+        return sm.apply(cmd)
+    except Exception as exc:  # noqa: BLE001 - deliberate poison barrier
+        failure = CommandFailed(
+            f"command #{cmd.request_id} failed to apply: "
+            f"{type(exc).__name__}: {exc}"
+        )
+        return [
+            Completion(
+                cmd.request_id,
+                cmd.origin_host,
+                getattr(cmd, "process_id", None),
+                failure,
+            )
+        ]
 
 
 def replica_loop(
@@ -118,13 +152,13 @@ def replica_loop(
                     return
                 trace_id = cmd.trace_id
                 if trace_id is None:
-                    completions = sm.apply(cmd)
+                    completions = _apply_hardened(sm, cmd)
                     applied += 1
                 else:
                     # traced: time the apply and record this replica's
                     # (slot, request_id) coordinate in the total order
                     t0 = time.monotonic()
-                    completions = sm.apply(cmd)
+                    completions = _apply_hardened(sm, cmd)
                     applied += 1
                     if spans is None:
                         spans = []
@@ -141,6 +175,10 @@ def replica_loop(
             ready = [r for r in item[1] if r[0] <= applied]
             pending_reads.extend(r for r in item[1] if r[0] > applied)
             serve_reads(ready)
+        elif kind == "PING":
+            emit(("PONG", applied))
+        elif kind == "SLEEP":
+            time.sleep(item[1])
         elif kind == "QUERY":
             _k, qid, what, arg = item
             if what == "fingerprint":
