@@ -73,18 +73,50 @@ class ChaosMonkey:
     seed:
         Seeds the private RNG used by :meth:`random_script`; runs with
         the same seed inject the same faults at the same offsets.
+    shard:
+        Which shard group to torment on a sharded runtime: an int index,
+        a name like ``"shard2"``, or ``"random"`` to pick one with the
+        seeded RNG (so scripted runs stay reproducible).  ``None`` — the
+        default — targets ``runtime.group``, i.e. shard 0, which on an
+        unsharded runtime is the whole pipeline.
     """
 
-    def __init__(self, runtime: Any, seed: int | None = None):
+    def __init__(
+        self,
+        runtime: Any,
+        seed: int | None = None,
+        *,
+        shard: int | str | None = None,
+    ):
         self.runtime = runtime
-        self.group: ReplicaGroup = runtime.group
         self.rng = random.Random(seed)
+        self.group: ReplicaGroup = self._resolve_shard(runtime, shard)
         #: Everything injected, in order: (t_offset_s, action, args).
         self.log: list[tuple[float, str, tuple]] = []
         self._t0 = time.monotonic()
 
     def _note(self, action: str, *args: Any) -> None:
         self.log.append((time.monotonic() - self._t0, action, args))
+
+    def _resolve_shard(
+        self, runtime: Any, shard: int | str | None
+    ) -> ReplicaGroup:
+        if shard is None:
+            return runtime.group
+        groups: list[ReplicaGroup] = getattr(runtime, "shard_groups", None) or [
+            runtime.group
+        ]
+        if shard == "random":
+            return groups[self.rng.randrange(len(groups))]
+        if isinstance(shard, int):
+            return groups[shard]
+        for g in groups:
+            if g.name == shard:
+                return g
+        raise ValueError(
+            f"no shard group named {shard!r} "
+            f"(have: {[g.name or 'shard0' for g in groups]})"
+        )
 
     # ------------------------------------------------------------------ #
     # the faults

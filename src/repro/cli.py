@@ -278,6 +278,10 @@ def _workload_parser(prog: str, description: str) -> argparse.ArgumentParser:
         "--replicas", type=int, default=3, help="replica count (non-local backends)"
     )
     parser.add_argument(
+        "--shards", type=int, default=1,
+        help="content-partitioned shard groups (non-local backends; default 1)",
+    )
+    parser.add_argument(
         "--no-batching",
         action="store_true",
         help="disable command batching (non-local backends)",
@@ -288,16 +292,19 @@ def _workload_parser(prog: str, description: str) -> argparse.ArgumentParser:
 def _build_runtime(opts: argparse.Namespace, tracer: Any = None) -> Any:
     if opts.backend == "local":
         return LocalRuntime(tracer=tracer)
+    shards = getattr(opts, "shards", 1)
     if opts.backend == "threaded":
         from repro.parallel import ThreadedReplicaRuntime
 
         return ThreadedReplicaRuntime(
-            opts.replicas, batching=not opts.no_batching, tracer=tracer
+            opts.replicas, shards=shards,
+            batching=not opts.no_batching, tracer=tracer,
         )
     from repro.parallel import MultiprocessRuntime
 
     return MultiprocessRuntime(
-        opts.replicas, batching=not opts.no_batching, tracer=tracer
+        opts.replicas, shards=shards,
+        batching=not opts.no_batching, tracer=tracer,
     )
 
 
@@ -583,6 +590,7 @@ def _chaos_main(argv: list[str]) -> int:
 
         rt: Any = ThreadedReplicaRuntime(
             opts.replicas,
+            shards=opts.shards,
             batching=not opts.no_batching,
             detect_failures=policy,
         )
@@ -591,10 +599,15 @@ def _chaos_main(argv: list[str]) -> int:
 
         rt = MultiprocessRuntime(
             opts.replicas,
+            shards=opts.shards,
             batching=not opts.no_batching,
             detect_failures=policy,
         )
-    monkey = ChaosMonkey(rt, seed=opts.seed)
+    # On a sharded runtime the monkey torments one seeded-random shard
+    # group; the report names it so reruns with the same seed replay it.
+    monkey = ChaosMonkey(
+        rt, seed=opts.seed, shard="random" if opts.shards > 1 else None
+    )
     stop = threading.Event()
     completed = [0] * opts.clients
 
@@ -629,6 +642,8 @@ def _chaos_main(argv: list[str]) -> int:
     report = {
         "backend": opts.backend,
         "replicas": opts.replicas,
+        "shards": opts.shards,
+        "shard": monkey.group.name or "shard0",
         "seed": opts.seed,
         "victim": victim,
         "detect_s": round(t_detect, 4),
@@ -644,9 +659,10 @@ def _chaos_main(argv: list[str]) -> int:
         print(
             f"backend={opts.backend} replicas={opts.replicas} seed={opts.seed}"
         )
+        where = f" ({monkey.group.name})" if opts.shards > 1 else ""
         print(
-            f"SIGKILLed replica {victim}: detected in {t_detect * 1e3:.0f}ms, "
-            f"auto-recovered in {t_recover * 1e3:.0f}ms"
+            f"SIGKILLed replica {victim}{where}: detected in "
+            f"{t_detect * 1e3:.0f}ms, auto-recovered in {t_recover * 1e3:.0f}ms"
         )
         print(
             f"clients completed {sum(completed)} ops through the fault; "

@@ -45,6 +45,7 @@ from repro._errors import (
     FormalBindingError,
     NotDeterministicError,
 )
+from repro.core.matching import ANY_FIRST, shard_of
 from repro.core.spaces import TSHandle
 from repro.core.tuples import Formal, Pattern, is_valid_field
 
@@ -449,6 +450,31 @@ class Op:
                 parts.append("*")
         return f"({', '.join(parts)})"
 
+    def shard_hints(self) -> list[tuple[TSHandle | None, Any, bool]]:
+        """Partition hints: ``(space, first-field value, extracts)`` per target.
+
+        The shard classifier reduces an AGS to the set of
+        ``(space, first-field)`` partitions it can touch.  Each hint's
+        *space* is the statically known handle (``None`` when the space is
+        itself an operand resolved at execution time), *first* is the
+        first field's constant value or :data:`~repro.core.matching.
+        ANY_FIRST` when it is a formal/expression, and *extracts* says
+        whether the operation needs to *match* existing tuples there
+        (guards, body in/rd/probes, and move/copy sources) as opposed to
+        only depositing (``out`` and move/copy destinations).
+
+        MOVE/COPY contribute two hints: the source (extracting) and the
+        destination (deposit-only) — transferred tuples keep their first
+        field, so the destination hint reuses the pattern's first value.
+        """
+        first_field = self.fields[0]
+        first = first_field.value if isinstance(first_field, Const) else ANY_FIRST
+        hints = [(self.static_ts(), first, self.code is not OpCode.OUT)]
+        if self.ts2 is not None:
+            dst = getattr(self.ts2, "value", None)
+            hints.append((dst if isinstance(dst, TSHandle) else None, first, False))
+        return hints
+
     def correlation_key(self) -> tuple[int | None, str, int]:
         """``(space_id, first_field, arity)`` for out-traffic correlation.
 
@@ -691,6 +717,42 @@ class AGS:
                 }
             )
         return out
+
+    def shard_hints(self) -> list[tuple[TSHandle | None, Any, bool]]:
+        """Deduplicated partition hints over every branch (guards + bodies).
+
+        A hint that appears both extracting and deposit-only collapses to
+        the extracting form — extraction subsumes deposit for routing.
+        """
+        merged: dict[tuple[int | None, Any], tuple[TSHandle | None, Any, bool]] = {}
+        for branch in self.branches:
+            ops = list(branch.body)
+            if branch.guard.op is not None:
+                ops.insert(0, branch.guard.op)
+            for op in ops:
+                for ts, first, extracts in op.shard_hints():
+                    key = (ts.id if ts is not None else None, first)
+                    prev = merged.get(key)
+                    if prev is None or (extracts and not prev[2]):
+                        merged[key] = (ts, first, extracts)
+        return list(merged.values())
+
+    def shard_set(self, n_shards: int) -> frozenset[int] | None:
+        """Shards this AGS can touch, or ``None`` when not statically pinnable.
+
+        ``None`` means some hint has a dynamic space or a wildcard first
+        field — the router must take the cross-shard path.  A concrete
+        frozenset of size 1 is the fast case: the whole AGS lives on one
+        shard and keeps the single-multicast cost.
+        """
+        if n_shards <= 1:
+            return frozenset((0,))
+        shards: set[int] = set()
+        for ts, first, _extracts in self.shard_hints():
+            if ts is None or first == ANY_FIRST:
+                return None
+            shards.add(shard_of(ts.id, first, n_shards))
+        return frozenset(shards)
 
     def bound_names(self, branch_index: int) -> tuple[str, ...]:
         """All formal names the given branch can bind (guard + body)."""

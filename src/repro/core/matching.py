@@ -28,7 +28,15 @@ from typing import Any, Iterator, Mapping
 
 from repro.core.tuples import Formal, LindaTuple, Pattern, type_name
 
-__all__ = ["Match", "TupleStore", "pattern_key", "stable_hash"]
+__all__ = [
+    "ANY_FIRST",
+    "Match",
+    "TupleStore",
+    "pattern_key",
+    "shard_key",
+    "shard_of",
+    "stable_hash",
+]
 
 #: Process-wide gate for per-template match statistics.  Off by default so
 #: the match hot path pays exactly one ``is not None`` branch; flipped by
@@ -36,6 +44,14 @@ __all__ = ["Match", "TupleStore", "pattern_key", "stable_hash"]
 #: ``REPRO_INTROSPECT=1`` so spawned replica processes (multiproc backend)
 #: come up instrumented too — this module reads the variable at import.
 STATS_ENABLED = os.environ.get("REPRO_INTROSPECT", "") == "1"
+
+
+#: Wildcard partition key: "any first field".  A plain string (picklable,
+#: repr-stable) rather than a singleton object so it survives process
+#: boundaries by value.  A shard *selector* carrying this value matches
+#: every tuple of the space; an AGS whose first field is only known at
+#: execution time classifies to this and takes the cross-shard path.
+ANY_FIRST = "<any-first-field>"
 
 
 def stable_hash(obj: Any) -> int:
@@ -49,6 +65,54 @@ def stable_hash(obj: Any) -> int:
     """
     digest = hashlib.blake2b(repr(obj).encode(), digest_size=8).digest()
     return int.from_bytes(digest, "big", signed=True)
+
+
+def shard_key(space_id: int, first_field: Any) -> int:
+    """Stable partition key of ``(space, first-field signature)``.
+
+    Every component that maps a tuple or template to a shard — the AGS
+    classifier, the ShardedGroup router, the cross-shard scatter path —
+    MUST derive the shard through this helper (or :func:`shard_of`), never
+    through builtin ``hash()``: clients and replicas live in different
+    processes, and ``hash(str)`` is salted per process (PYTHONHASHSEED),
+    so a builtin-hash partitioner would route the same tuple to different
+    shards on different hosts.  ``repr`` of field values is canonical
+    (same property :func:`stable_hash` relies on for fingerprints), so
+    hashing its bytes is process-independent.
+    """
+    key = (space_id, type(first_field), first_field)
+    try:
+        cached = _shard_key_cache.get(key)
+    except TypeError:  # unhashable first field: compute, skip the cache
+        key = None
+        cached = None
+    if cached is not None:
+        return cached
+    payload = repr((space_id, first_field)).encode()
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    value = int.from_bytes(digest, "big", signed=False)
+    if key is not None:
+        if len(_shard_key_cache) >= _SHARD_KEY_CACHE_CAP:
+            _shard_key_cache.clear()
+        _shard_key_cache[key] = value
+    return value
+
+
+#: Process-local memo for :func:`shard_key` — routing sits on the submit
+#: hot path and real workloads reuse a small set of channel names.  The
+#: cache key is type-qualified because ``1``, ``1.0`` and ``True`` are
+#: ``==``/hash-equal yet repr (hence shard) distinct; a plain value key
+#: would silently alias them.  Using builtin hashing *for the memo* is
+#: fine: a hit returns the same digest the miss path would compute.
+_shard_key_cache: dict[tuple[int, type, Any], int] = {}
+_SHARD_KEY_CACHE_CAP = 1 << 16
+
+
+def shard_of(space_id: int, first_field: Any, n_shards: int) -> int:
+    """The shard owning tuples of *space_id* whose first field is *first_field*."""
+    if n_shards <= 1:
+        return 0
+    return shard_key(space_id, first_field) % n_shards
 
 
 class Match:
@@ -255,6 +319,30 @@ class TupleStore:
             for seqno, sig, tup in hits:
                 self._remove_entry(sig, seqno, tup)
         return [Match(seqno, tup, pattern.bind(tup)) for seqno, sig, tup in hits]
+
+    def withdraw_by_first(self, first: Any | None) -> list[tuple[int, tuple]]:
+        """Withdraw every tuple whose first field equals *first* (``None`` → all).
+
+        Returns ``(seqno, fields)`` pairs in deposit order — the cross-shard
+        extraction primitive: a shard hands its slice of a partition to the
+        coordinator with original sequence numbers attached, so oldest-first
+        matching priority survives the round trip.  Untouched by the match
+        profiler: this is replication plumbing, not an associative lookup.
+        """
+        doomed: list[tuple[int, tuple[str, ...], LindaTuple]] = []
+        if first is None:
+            for sig, bucket in self._by_sig.items():
+                for seqno, tup in bucket.items():
+                    doomed.append((seqno, sig, tup))
+        else:
+            for (sig, key), bucket in self._key_index.items():
+                if key == first:
+                    for seqno, tup in bucket.items():
+                        doomed.append((seqno, sig, tup))
+        doomed.sort(key=lambda e: e[0])
+        for seqno, sig, tup in doomed:
+            self._remove_entry(sig, seqno, tup)
+        return [(seqno, tup.fields) for seqno, sig, tup in doomed]
 
     def count(self, pattern: Pattern) -> int:
         """Number of tuples currently matching *pattern*."""

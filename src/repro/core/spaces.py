@@ -134,6 +134,22 @@ class SpaceRegistry:
         self._owners[hid] = owner if scope is Scope.PRIVATE else None
         return handle
 
+    def adopt(self, handle: TSHandle, owner: int | None = None) -> TSHandle:
+        """Register an existing *handle* with a fresh, empty store.
+
+        Used by the sharded router's scratch state machines: a cross-shard
+        AGS executes against a throwaway registry holding only the spaces
+        it touches, under their *original* handles (ids allocated by the
+        real replicated registries).  Adopting never advances ``_next_id``
+        and is a no-op when the handle is already registered.
+        """
+        if handle.id in self._spaces:
+            return self._handles[handle.id]
+        self._spaces[handle.id] = TupleStore()
+        self._handles[handle.id] = handle
+        self._owners[handle.id] = owner if handle.scope is Scope.PRIVATE else None
+        return handle
+
     def destroy(self, handle: TSHandle) -> None:
         """``ts_destroy``: drop a space and all its tuples."""
         if handle.id == MAIN_TS.id:

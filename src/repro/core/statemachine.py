@@ -55,8 +55,10 @@ __all__ = [
     "Command",
     "Completion",
     "CreateSpace",
+    "DepositTuples",
     "DestroySpace",
     "ExecuteAGS",
+    "ExtractTuples",
     "FAILURE_TAG",
     "HostFailed",
     "HostRecovered",
@@ -147,23 +149,100 @@ class DestroySpace(Command):
 
 
 class HostFailed(Command):
-    """Membership says *failed_host* crashed (fail-silent → fail-stop)."""
+    """Membership says *failed_host* crashed (fail-silent → fail-stop).
 
-    __slots__ = ("failed_host",)
+    *shard* is ``None`` in a single-group deployment (deposit the failure
+    tuple into every failure space) or ``(index, n_shards)`` when this
+    command is sequenced on shard *index* of a sharded deployment: each
+    shard then deposits the notification only into the spaces whose
+    ``(space, FAILURE_TAG)`` partition it owns, so a failure broadcast to
+    every shard group yields exactly one failure tuple per space globally.
+    """
 
-    def __init__(self, request_id: int, origin_host: int, failed_host: int):
+    __slots__ = ("failed_host", "shard")
+
+    def __init__(
+        self,
+        request_id: int,
+        origin_host: int,
+        failed_host: int,
+        shard: tuple[int, int] | None = None,
+    ):
         super().__init__(request_id, origin_host)
         self.failed_host = failed_host
+        self.shard = shard
 
 
 class HostRecovered(Command):
-    """Membership says *recovered_host* rejoined the group."""
+    """Membership says *recovered_host* rejoined the group.
 
-    __slots__ = ("recovered_host",)
+    *shard* filters the recovery-tuple deposit exactly like
+    :class:`HostFailed`.
+    """
 
-    def __init__(self, request_id: int, origin_host: int, recovered_host: int):
+    __slots__ = ("recovered_host", "shard")
+
+    def __init__(
+        self,
+        request_id: int,
+        origin_host: int,
+        recovered_host: int,
+        shard: tuple[int, int] | None = None,
+    ):
         super().__init__(request_id, origin_host)
         self.recovered_host = recovered_host
+        self.shard = shard
+
+
+class ExtractTuples(Command):
+    """Cross-shard support: withdraw tuples by ``(space, first-field)``.
+
+    *selectors* is a sequence of ``(handle, first)`` pairs: *first* is a
+    concrete first-field value, :data:`~repro.core.matching.ANY_FIRST`
+    (withdraw every tuple of the space) or ``None`` (withdraw nothing —
+    an existence probe, used for spaces the cross-shard AGS only deposits
+    into).  The result reports which selected spaces exist plus every
+    withdrawn tuple with its original sequence number, so the coordinator
+    can rebuild oldest-first matching priority deterministically.
+
+    Only the sharded router issues this command, and only for partitions
+    the target shard owns; like every command it is totally ordered within
+    its shard, which is what serializes the cross-shard rung against that
+    shard's single-shard traffic.
+    """
+
+    __slots__ = ("selectors",)
+
+    def __init__(
+        self,
+        request_id: int,
+        origin_host: int,
+        selectors: Sequence[tuple[TSHandle, Any]],
+    ):
+        super().__init__(request_id, origin_host)
+        self.selectors = tuple(selectors)
+
+
+class DepositTuples(Command):
+    """Cross-shard support: bulk-deposit tuples and wake blocked guards.
+
+    *deposits* is an ordered sequence of ``(handle, fields)`` pairs — the
+    order is part of the protocol (it recreates the coordinator's scratch
+    sequence numbering, keeping oldest-match priority deterministic).
+    Deposits into spaces destroyed since extraction are dropped; the
+    result is the number actually deposited.
+    """
+
+    __slots__ = ("deposits",)
+
+    def __init__(
+        self,
+        request_id: int,
+        origin_host: int,
+        deposits: Sequence[tuple[TSHandle, tuple]],
+    ):
+        super().__init__(request_id, origin_host)
+        self.deposits = tuple(deposits)
 
 
 class CancelRequest(Command):
@@ -359,7 +438,29 @@ class TSStateMachine:
             self._apply_host_failed(command)
             self._drain_blocked(completions)
         elif isinstance(command, HostRecovered):
-            self._deposit_notification(RECOVERY_TAG, command.recovered_host)
+            self._deposit_notification(
+                RECOVERY_TAG, command.recovered_host, command.shard
+            )
+            self._drain_blocked(completions)
+        elif isinstance(command, ExtractTuples):
+            result = self._apply_extract(command)
+            completions.append(
+                Completion(command.request_id, command.origin_host, None, result)
+            )
+            # extraction only withdraws, it can never wake a guard
+        elif isinstance(command, DepositTuples):
+            deposited = 0
+            for handle, fields in command.deposits:
+                if not self.registry.exists(handle):
+                    continue
+                tup = LindaTuple(fields)
+                self.registry.store(handle).add(tup)
+                deposited += 1
+                if _matching.STATS_ENABLED:
+                    self._note_out(handle, tup)
+            completions.append(
+                Completion(command.request_id, command.origin_host, None, deposited)
+            )
             self._drain_blocked(completions)
         else:
             # Unknown command types raise — and the replica apply loop's
@@ -424,12 +525,34 @@ class TSStateMachine:
             else:
                 self._blocked_rids.discard(b.command.request_id)
         self.blocked = kept
-        self._deposit_notification(FAILURE_TAG, command.failed_host)
+        self._deposit_notification(FAILURE_TAG, command.failed_host, command.shard)
 
-    def _deposit_notification(self, tag: str, host_id: int) -> None:
+    def _deposit_notification(
+        self, tag: str, host_id: int, shard: tuple[int, int] | None = None
+    ) -> None:
         for handle in self.failure_spaces:
+            if shard is not None:
+                index, n_shards = shard
+                if _matching.shard_of(handle.id, tag, n_shards) != index:
+                    continue
             if self.registry.exists(handle):
                 self.registry.store(handle).add(LindaTuple((tag, host_id)))
+
+    def _apply_extract(self, command: ExtractTuples) -> dict[str, Any]:
+        """Withdraw tuples for the cross-shard rung (see :class:`ExtractTuples`)."""
+        exists: list[int] = []
+        extracted: list[tuple[int, int, tuple]] = []
+        for handle, first in command.selectors:
+            if not self.registry.exists(handle):
+                continue
+            exists.append(handle.id)
+            if first is None:
+                continue
+            store = self.registry.store(handle)
+            match_first = None if first == _matching.ANY_FIRST else first
+            for seqno, fields in store.withdraw_by_first(match_first):
+                extracted.append((handle.id, seqno, fields))
+        return {"spaces": exists, "extracted": extracted}
 
     def _drain_blocked(self, completions: list[Completion]) -> None:
         """Wake blocked statements, oldest first, until a fixpoint."""

@@ -80,8 +80,27 @@ def apply_streams(events: Iterable[SpanEvent]) -> dict[str, Stream]:
     return streams
 
 
+def _shard_of_track(track: str) -> str:
+    """The ordering domain a replica track belongs to.
+
+    Sharded deployments run one independently sequenced replica group per
+    shard and name replica tracks ``shard<k>/replica-<i>``; slot counters
+    are per shard, so cross-replica slot comparison is only meaningful
+    *within* a shard.  Legacy single-group tracks (``replica-<i>``, no
+    prefix) all fall into the ``""`` domain — the previous behaviour.
+    """
+    prefix, sep, _rest = track.partition("/")
+    return prefix if sep else ""
+
+
 def check_apply_streams(streams: dict[str, Stream]) -> ConsistencyReport:
-    """Assert the streams describe one total order (see module docstring)."""
+    """Assert the streams describe one total order (see module docstring).
+
+    With sharded tracks (``shard<k>/replica-<i>``), "one total order"
+    holds per shard: each shard's replicas must agree among themselves,
+    while different shards legitimately assign the same slot numbers to
+    different commands.
+    """
     violations: list[str] = []
     for track, seq in sorted(streams.items()):
         for (a, _ra), (b, rb) in zip(seq, seq[1:]):
@@ -90,20 +109,22 @@ def check_apply_streams(streams: dict[str, Stream]) -> ConsistencyReport:
                     f"{track}: applied slot {b} (request {rb}) after slot {a} "
                     f"— local order not strictly increasing"
                 )
-    by_slot: dict[int, dict[str, int]] = {}
+    by_slot: dict[tuple[str, int], dict[str, int]] = {}
     for track, seq in streams.items():
+        shard = _shard_of_track(track)
         for slot, rid in seq:
-            by_slot.setdefault(slot, {})[track] = rid
+            by_slot.setdefault((shard, slot), {})[track] = rid
     compared = 0
-    for slot in sorted(by_slot):
-        owners = by_slot[slot]
+    for shard, slot in sorted(by_slot):
+        owners = by_slot[(shard, slot)]
         if len(owners) < 2:
             continue
         compared += 1
         if len(set(owners.values())) > 1:
             detail = ", ".join(f"{t}={r}" for t, r in sorted(owners.items()))
+            where = f"{shard} slot {slot}" if shard else f"slot {slot}"
             violations.append(
-                f"slot {slot}: replicas disagree on the {slot}-th command "
+                f"{where}: replicas disagree on the {slot}-th command "
                 f"({detail}) — apply order has forked"
             )
     return ConsistencyReport(

@@ -280,17 +280,25 @@ def to_prometheus(
         lines.append(f"linda_stalled_waiters {len(stalls)}")
 
     replicas = snapshot.get("replicas", [])
+
+    def replica_labels(r: Mapping[str, Any]) -> str:
+        # sharded snapshots tag each replica row with its shard group, so
+        # the same replica index in different shards stays distinguishable
+        if "shard" in r:
+            return _labels(replica=r["id"], shard=r["shard"])
+        return _labels(replica=r["id"])
+
     family("replica_alive", "gauge", "1 when the replica is live")
     for r in replicas:
         lines.append(
-            f"linda_replica_alive{_labels(replica=r['id'])} "
+            f"linda_replica_alive{replica_labels(r)} "
             f"{1 if r.get('alive') else 0}"
         )
     family("replica_applied_total", "counter", "commands applied per replica")
     for r in replicas:
         if r.get("applied") is not None:
             lines.append(
-                f"linda_replica_applied_total{_labels(replica=r['id'])} "
+                f"linda_replica_applied_total{replica_labels(r)} "
                 f"{r['applied']}"
             )
     family("replica_lag", "gauge",
@@ -298,7 +306,28 @@ def to_prometheus(
     for r in replicas:
         if r.get("lag") is not None:
             lines.append(
-                f"linda_replica_lag{_labels(replica=r['id'])} {r['lag']}"
+                f"linda_replica_lag{replica_labels(r)} {r['lag']}"
+            )
+
+    shard_rows = snapshot.get("shards", [])
+    if shard_rows:
+        family("shard_tuples", "gauge", "live tuples held per shard group")
+        for s in shard_rows:
+            lines.append(
+                f"linda_shard_tuples{_labels(shard=s['shard'])} {s['tuples']}"
+            )
+        family("shard_applied_total", "counter",
+               "commands applied per shard group (max over its replicas)")
+        for s in shard_rows:
+            lines.append(
+                f"linda_shard_applied_total{_labels(shard=s['shard'])} "
+                f"{s['applied']}"
+            )
+        family("shard_skew", "gauge",
+               "shard tuples over mean shard tuples (1.0 = balanced)")
+        for s in shard_rows:
+            lines.append(
+                f"linda_shard_skew{_labels(shard=s['shard'])} {s['skew']:.6g}"
             )
 
     family("pending_commands", "gauge", "submissions queued at the sequencer")
@@ -361,13 +390,32 @@ def render_top(
         head += f"  wal={_fmt_bytes(snapshot['wal_bytes'])}"
     lines.append(head)
 
+    shard_rows = snapshot.get("shards", [])
+    if shard_rows:
+        lines.append("")
+        lines.append(
+            f"{'SHARD':<8} {'LIVE':>6} {'APPLIED':>9} {'PENDING':>8} "
+            f"{'TUPLES':>8} {'WAITERS':>8} {'SKEW':>6}"
+        )
+        for s in shard_rows:
+            lines.append(
+                f"{s['shard']:<8} {s['live']}/{s['replicas']:<4} "
+                f"{s['applied']:>9} {s['pending']:>8} {s['tuples']:>8} "
+                f"{s['waiters']:>8} {s['skew']:>6.2f}"
+            )
+
     replicas = snapshot.get("replicas", [])
     if replicas:
+        sharded = any("shard" in r for r in replicas)
         lines.append("")
-        lines.append(f"{'REPLICA':>8} {'ALIVE':>6} {'APPLIED':>9} {'LAG':>6}")
+        shard_col = f"{'SHARD':<8} " if sharded else ""
+        lines.append(
+            f"{shard_col}{'REPLICA':>8} {'ALIVE':>6} {'APPLIED':>9} {'LAG':>6}"
+        )
         for r in replicas:
+            prefix = f"{r.get('shard', ''):<8} " if sharded else ""
             lines.append(
-                f"{r['id']:>8} {('yes' if r.get('alive') else 'NO'):>6} "
+                f"{prefix}{r['id']:>8} {('yes' if r.get('alive') else 'NO'):>6} "
                 f"{(r['applied'] if r.get('applied') is not None else '-'):>9} "
                 f"{(r['lag'] if r.get('lag') is not None else '-'):>6}"
             )

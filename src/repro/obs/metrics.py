@@ -27,7 +27,14 @@ import threading
 from bisect import bisect_left
 from typing import Any
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "format_snapshot"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "format_snapshot",
+    "merged",
+]
 
 
 class Counter:
@@ -289,6 +296,21 @@ class MetricsRegistry:
             "gauges": {n: g.snapshot() for n, g in sorted(gauges.items())},
             "histograms": {n: h.snapshot() for n, h in sorted(histograms.items())},
         }
+
+
+def merged(registries: "list[MetricsRegistry]") -> "MetricsRegistry":
+    """A fresh registry aggregating *registries* instrument-by-instrument.
+
+    The sharded runtimes keep one registry per shard group (so per-shard
+    skew stays observable) and merge on demand for the runtime-wide
+    snapshot the contract tests and the CLI consume.  Counters and
+    histogram samples sum; gauges sum too (``live_replicas`` across
+    shards is total live replicas).
+    """
+    out = MetricsRegistry()
+    for reg in registries:
+        out.merge(reg)
+    return out
 
 
 def format_snapshot(snap: dict[str, Any]) -> str:

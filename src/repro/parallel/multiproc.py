@@ -37,12 +37,15 @@ from typing import Any
 from repro.core.ags import AGS, AGSResult
 from repro.core.runtime import BaseRuntime
 from repro.core.spaces import Resilience, Scope, TSHandle
-from repro.core.statemachine import CreateSpace, DestroySpace, ExecuteAGS
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import FlightRecorder
 from repro.parallel._liveness import resolve_liveness
-from repro.replication import LivenessPolicy, PickleQueueTransport, ReplicaGroup
-from repro.replication.group import CLIENT_ORIGIN
+from repro.replication import (
+    LivenessPolicy,
+    PickleQueueTransport,
+    ReplicaGroup,
+    ShardedGroup,
+)
 
 __all__ = ["MultiprocessRuntime"]
 
@@ -64,6 +67,7 @@ class MultiprocessRuntime(BaseRuntime):
         self,
         n_replicas: int = 3,
         *,
+        shards: int = 1,
         start_method: str = "spawn",
         batching: bool = True,
         read_fastpath: bool = True,
@@ -72,13 +76,24 @@ class MultiprocessRuntime(BaseRuntime):
         auto_recover: bool = False,
     ):
         super().__init__()
-        self.group = ReplicaGroup(
-            PickleQueueTransport(n_replicas, start_method=start_method),
+        liveness = resolve_liveness(detect_failures, auto_recover)
+        self.sharded = ShardedGroup(
+            lambda: PickleQueueTransport(n_replicas, start_method=start_method),
+            shards,
             batching=batching,
             read_fastpath=read_fastpath,
             tracer=tracer,
-            liveness=resolve_liveness(detect_failures, auto_recover),
+            liveness=liveness,
         )
+
+    @property
+    def group(self) -> ReplicaGroup:
+        """The first shard's group — the whole pipeline when ``shards=1``."""
+        return self.sharded.groups[0]
+
+    @property
+    def shard_groups(self) -> list[ReplicaGroup]:
+        return self.sharded.groups
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -95,10 +110,7 @@ class MultiprocessRuntime(BaseRuntime):
     def _submit(
         self, ags: AGS, process_id: int, *, timeout: float | None = None
     ) -> AGSResult:
-        rid = self.group.next_request_id()
-        return self.group.call(
-            ExecuteAGS(rid, CLIENT_ORIGIN, process_id, ags), timeout
-        )
+        return self.sharded.execute(ags, process_id, timeout)
 
     def create_space(
         self,
@@ -107,64 +119,58 @@ class MultiprocessRuntime(BaseRuntime):
         scope: Scope = Scope.SHARED,
         owner: int | None = None,
     ) -> TSHandle:
-        rid = self.group.next_request_id()
-        result = self.group.call(
-            CreateSpace(rid, CLIENT_ORIGIN, name, resilience, scope, owner)
-        )
-        if isinstance(result, Exception):
-            raise result
-        return result
+        return self.sharded.create_space(name, resilience, scope, owner)
 
     def destroy_space(self, handle: TSHandle) -> None:
-        rid = self.group.next_request_id()
-        result = self.group.call(DestroySpace(rid, CLIENT_ORIGIN, handle))
-        if isinstance(result, Exception):
-            raise result
+        self.sharded.destroy_space(handle)
 
     # ------------------------------------------------------------------ #
-    # failure injection / inspection (delegated to the replica group)
+    # failure injection / inspection (delegated to the sharded group)
     # ------------------------------------------------------------------ #
 
     def query(
         self, replica_id: int, what: str, arg: Any = None, timeout: float = 30.0
     ) -> Any:
         """In-band query: answered after all previously sequenced commands."""
-        return self.group.query(replica_id, what, arg, timeout=timeout)
+        return self.sharded.query(replica_id, what, arg, timeout)
 
     def crash_replica(self, replica_id: int, *, notify: bool = True) -> None:
-        """SIGKILL one replica process; the group continues without it."""
-        self.group.crash_replica(replica_id, notify=notify)
+        """SIGKILL one replica process (in every shard); group continues."""
+        self.sharded.crash_replica(replica_id, notify=notify)
 
     def inject_failure(self, host_id: int) -> None:
         """Deposit a failure tuple for a *logical* host (worker) id."""
-        self.group.inject_failure(host_id)
+        self.sharded.inject_failure(host_id)
 
     def recover_replica(self, replica_id: int, *, timeout: float = 30.0) -> None:
         """Restart a killed replica process and transfer state into it."""
-        self.group.recover_replica(replica_id, timeout=timeout)
+        self.sharded.recover_replica(replica_id, timeout=timeout)
 
     def quiesce(self, timeout: float = 30.0) -> None:
         """Wait until every live replica has applied every broadcast."""
-        self.group.quiesce(timeout=timeout)
+        self.sharded.quiesce(timeout=timeout)
 
     def fingerprints(self) -> list[int]:
-        return self.group.fingerprints()
+        return self.sharded.fingerprints()
 
     def converged(self) -> bool:
-        return self.group.converged()
+        return self.sharded.converged()
 
     def space_size(self, handle: TSHandle) -> int:
-        return self.group.space_size(handle)
+        return self.sharded.space_size(handle)
+
+    def metrics_snapshot(self) -> dict:
+        return self.sharded.metrics_snapshot()
 
     def introspection_snapshot(self) -> dict:
-        return self.group.introspection_snapshot(type(self).__name__)
+        return self.sharded.introspection_snapshot(type(self).__name__)
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
 
     def shutdown(self) -> None:
-        self.group.shutdown()
+        self.sharded.shutdown()
 
     def __enter__(self) -> "MultiprocessRuntime":
         return self

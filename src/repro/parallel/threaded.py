@@ -30,12 +30,15 @@ from __future__ import annotations
 from repro.core.ags import AGS, AGSResult
 from repro.core.runtime import BaseRuntime
 from repro.core.spaces import Resilience, Scope, TSHandle
-from repro.core.statemachine import CreateSpace, DestroySpace, ExecuteAGS
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import FlightRecorder
 from repro.parallel._liveness import resolve_liveness
-from repro.replication import InMemoryTransport, LivenessPolicy, ReplicaGroup
-from repro.replication.group import CLIENT_ORIGIN
+from repro.replication import (
+    InMemoryTransport,
+    LivenessPolicy,
+    ReplicaGroup,
+    ShardedGroup,
+)
 
 __all__ = ["ThreadedReplicaRuntime"]
 
@@ -47,12 +50,18 @@ class ThreadedReplicaRuntime(BaseRuntime):
     for the defaults, or a :class:`~repro.replication.LivenessPolicy` to
     tune it); ``auto_recover`` additionally restarts a detected-dead
     replica thread and installs a snapshot from a live donor.
+
+    ``shards`` partitions the tuple space into that many independently
+    sequenced replica groups (each with *n_replicas* replica threads),
+    routed by content hash — see :mod:`repro.replication.sharding`.  The
+    default of 1 is the classic single-sequencer deployment.
     """
 
     def __init__(
         self,
         n_replicas: int = 3,
         *,
+        shards: int = 1,
         batching: bool = True,
         read_fastpath: bool = True,
         tracer: FlightRecorder | None = None,
@@ -60,13 +69,24 @@ class ThreadedReplicaRuntime(BaseRuntime):
         auto_recover: bool = False,
     ):
         super().__init__()
-        self.group = ReplicaGroup(
-            InMemoryTransport(n_replicas),
+        liveness = resolve_liveness(detect_failures, auto_recover)
+        self.sharded = ShardedGroup(
+            lambda: InMemoryTransport(n_replicas),
+            shards,
             batching=batching,
             read_fastpath=read_fastpath,
             tracer=tracer,
-            liveness=resolve_liveness(detect_failures, auto_recover),
+            liveness=liveness,
         )
+
+    @property
+    def group(self) -> ReplicaGroup:
+        """The first shard's group — the whole pipeline when ``shards=1``."""
+        return self.sharded.groups[0]
+
+    @property
+    def shard_groups(self) -> list[ReplicaGroup]:
+        return self.sharded.groups
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -83,10 +103,7 @@ class ThreadedReplicaRuntime(BaseRuntime):
     def _submit(
         self, ags: AGS, process_id: int, *, timeout: float | None = None
     ) -> AGSResult:
-        rid = self.group.next_request_id()
-        return self.group.call(
-            ExecuteAGS(rid, CLIENT_ORIGIN, process_id, ags), timeout
-        )
+        return self.sharded.execute(ags, process_id, timeout)
 
     def create_space(
         self,
@@ -95,56 +112,50 @@ class ThreadedReplicaRuntime(BaseRuntime):
         scope: Scope = Scope.SHARED,
         owner: int | None = None,
     ) -> TSHandle:
-        rid = self.group.next_request_id()
-        result = self.group.call(
-            CreateSpace(rid, CLIENT_ORIGIN, name, resilience, scope, owner)
-        )
-        if isinstance(result, Exception):
-            raise result
-        return result
+        return self.sharded.create_space(name, resilience, scope, owner)
 
     def destroy_space(self, handle: TSHandle) -> None:
-        rid = self.group.next_request_id()
-        result = self.group.call(DestroySpace(rid, CLIENT_ORIGIN, handle))
-        if isinstance(result, Exception):
-            raise result
+        self.sharded.destroy_space(handle)
 
     # ------------------------------------------------------------------ #
-    # failure injection / inspection (delegated to the replica group)
+    # failure injection / inspection (delegated to the sharded group)
     # ------------------------------------------------------------------ #
 
     def crash_replica(self, replica_id: int, *, notify: bool = True) -> None:
-        """Halt one replica; optionally deposit its failure tuple."""
-        self.group.crash_replica(replica_id, notify=notify)
+        """Halt one replica (in every shard); optionally deposit its tuple."""
+        self.sharded.crash_replica(replica_id, notify=notify)
 
     def recover_replica(self, replica_id: int, *, timeout: float = 30.0) -> None:
         """Restart a halted replica thread and transfer state into it."""
-        self.group.recover_replica(replica_id, timeout=timeout)
+        self.sharded.recover_replica(replica_id, timeout=timeout)
 
     def query(self, replica_id: int, what: str, arg=None, timeout: float = 30.0):
         """In-band query: answered after all previously sequenced commands."""
-        return self.group.query(replica_id, what, arg, timeout=timeout)
+        return self.sharded.query(replica_id, what, arg, timeout)
 
     def inject_failure(self, host_id: int) -> None:
         """Deposit a failure tuple for a *logical* host (worker) id."""
-        self.group.inject_failure(host_id)
+        self.sharded.inject_failure(host_id)
 
     def quiesce(self, timeout: float = 30.0) -> None:
         """Wait until every live replica has applied every broadcast."""
-        self.group.quiesce(timeout=timeout)
+        self.sharded.quiesce(timeout=timeout)
 
     def fingerprints(self) -> list[int]:
         """Stable-state fingerprints of all live replicas."""
-        return self.group.fingerprints()
+        return self.sharded.fingerprints()
 
     def converged(self) -> bool:
-        return self.group.converged()
+        return self.sharded.converged()
 
     def space_size(self, handle: TSHandle) -> int:
-        return self.group.space_size(handle)
+        return self.sharded.space_size(handle)
+
+    def metrics_snapshot(self) -> dict:
+        return self.sharded.metrics_snapshot()
 
     def introspection_snapshot(self) -> dict:
-        return self.group.introspection_snapshot(type(self).__name__)
+        return self.sharded.introspection_snapshot(type(self).__name__)
 
     def shutdown(self) -> None:
-        self.group.shutdown()
+        self.sharded.shutdown()

@@ -10,6 +10,10 @@ pipeline, factored out of any particular delivery mechanism:
   crash/recovery bookkeeping, in-band queries, runtime metrics, and an
   opt-in liveness plane (:class:`~repro.replication.group.LivenessPolicy`:
   heartbeat + probe failure detector, self-healing auto-recovery);
+- :class:`~repro.replication.sharding.ShardedGroup` — the
+  content-partitioned router: N independent ReplicaGroups (one sequencer
+  each), single-shard statements delegated whole, cross-shard statements
+  run as a deterministic extract/execute/scatter rung;
 - :class:`~repro.replication.transport.Transport` — the seam a delivery
   mechanism implements: FIFO delivery of opaque items to N replica
   workers and a sink for what they emit;
@@ -22,6 +26,7 @@ one new Transport implementation.
 """
 
 from repro.replication.group import LivenessPolicy, ReplicaGroup
+from repro.replication.sharding import ShardedGroup
 from repro.replication.transport import (
     InMemoryTransport,
     PickleQueueTransport,
@@ -33,5 +38,6 @@ __all__ = [
     "LivenessPolicy",
     "PickleQueueTransport",
     "ReplicaGroup",
+    "ShardedGroup",
     "Transport",
 ]

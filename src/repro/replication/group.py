@@ -169,11 +169,25 @@ class ReplicaGroup:
         metrics: MetricsRegistry | None = None,
         tracer: FlightRecorder | None = None,
         liveness: LivenessPolicy | bool | None = None,
+        name: str = "",
+        shard_info: tuple[int, int] | None = None,
     ):
         self.transport = transport
         self.n_replicas = transport.n_replicas
         self.batching = batching
         self.read_fastpath = read_fastpath
+        #: Display name when this group is one shard of a ShardedGroup
+        #: ("shard0", …); empty for the classic single-group deployment.
+        #: Prefixes replica trace tracks ("shard0/replica-1") so the
+        #: consistency checker can partition the total-order comparison
+        #: per shard — shards are independently sequenced, and comparing
+        #: their slot counters across shards would report false forks.
+        self.name = name
+        #: ``(shard_index, n_shards)`` when sharded, stamped onto the
+        #: HostFailed/HostRecovered commands this group sequences so each
+        #: shard deposits failure/recovery tuples only into the partitions
+        #: it owns (one tuple per space globally, not one per shard).
+        self.shard_info = shard_info
         self.alive = [True] * self.n_replicas
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
@@ -263,6 +277,12 @@ class ReplicaGroup:
 
     def next_request_id(self) -> int:
         return next(self._req_ids)
+
+    def _replica_track(self, replica_id: int) -> str:
+        """Trace track of a replica, shard-qualified when sharded."""
+        if self.name:
+            return f"{self.name}/replica-{replica_id}"
+        return f"replica-{replica_id}"
 
     def call(
         self,
@@ -723,7 +743,7 @@ class ReplicaGroup:
         elif kind == "SPANS":
             tracer = self.tracer
             if tracer is not None:
-                track = f"replica-{replica_id}"
+                track = self._replica_track(replica_id)
                 for trace_id, rid, slot, ts, dur in item[1]:
                     tracer.record_span(
                         ts,
@@ -834,11 +854,17 @@ class ReplicaGroup:
         self._reroute_reads(replica_id)
         if self.tracer is not None:
             self.tracer.record_span(
-                time.monotonic(), f"replica-{replica_id}", "membership", "crash",
+                time.monotonic(), self._replica_track(replica_id),
+                "membership", "crash",
                 args={"cause": cause},
             )
         if notify and any(self.alive):
-            self.post(HostFailed(self.next_request_id(), CLIENT_ORIGIN, replica_id))
+            self.post(
+                HostFailed(
+                    self.next_request_id(), CLIENT_ORIGIN, replica_id,
+                    shard=self.shard_info,
+                )
+            )
         return True
 
     # ------------------------------------------------------------------ #
@@ -940,7 +966,12 @@ class ReplicaGroup:
 
     def inject_failure(self, host_id: int) -> None:
         """Deposit a failure tuple for a *logical* host (worker) id."""
-        self.post(HostFailed(self.next_request_id(), CLIENT_ORIGIN, host_id))
+        self.post(
+            HostFailed(
+                self.next_request_id(), CLIENT_ORIGIN, host_id,
+                shard=self.shard_info,
+            )
+        )
 
     def recover_replica(self, replica_id: int, *, timeout: float = 30.0) -> None:
         """Restart a crashed replica and transfer state into it.
@@ -984,7 +1015,8 @@ class ReplicaGroup:
             # retake the sequencer lock on the unbatched path, so ship
             # directly — we already hold the order)
             rec = HostRecovered(
-                self.next_request_id(), CLIENT_ORIGIN, replica_id
+                self.next_request_id(), CLIENT_ORIGIN, replica_id,
+                shard=self.shard_info,
             )
             if self.tracer is not None:
                 rec.trace_id = self.tracer.next_trace_id()
@@ -1000,7 +1032,7 @@ class ReplicaGroup:
         if self.tracer is not None:
             self.tracer.record_span(
                 time.monotonic(),
-                f"replica-{replica_id}",
+                self._replica_track(replica_id),
                 "membership",
                 "recover",
                 args={"applied": applied},

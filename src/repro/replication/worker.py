@@ -32,11 +32,11 @@ received                              meaning
 
 emitted
 ------------------------------------  ------------------------------------
-``("COMP", request_id, result)``      a completion (every replica reports;
-                                      the group deduplicates)
-``("COMPS", [(request_id, result),    answers for the reads of one READS
-  ...])``                             batch that fired, batched to halve
-                                      the reply-lane message count
+``("COMPS", [(request_id, result),    completions (every replica reports;
+  ...])``                             the group deduplicates) — one item
+                                      per BATCH applied or per READS batch
+                                      that fired, so the reply lane is as
+                                      batched as the command lane
 ``("READMISS", request_id)``          a read whose blocking guard cannot
                                       fire on local state; the group
                                       reroutes it through the total order
@@ -147,6 +147,12 @@ def replica_loop(
             kind = item[0]
         if kind == "BATCH":
             spans: list[tuple] | None = None
+            # Completions for the whole batch travel as one COMPS item:
+            # with process transports every emitted item is a pickled queue
+            # message, so per-command COMP replies would make the reply
+            # lane as chatty as the unbatched command lane the BLOB
+            # optimization already removed.
+            comps: list[tuple[int, Any]] = []
             for cmd in item[1]:
                 if stopped():
                     return
@@ -166,8 +172,9 @@ def replica_loop(
                         (trace_id, cmd.request_id, applied,
                          t0, time.monotonic() - t0)
                     )
-                for c in completions:
-                    emit(("COMP", c.request_id, c.result))
+                comps.extend((c.request_id, c.result) for c in completions)
+            if comps:
+                emit(("COMPS", comps))
             if spans is not None:
                 emit(("SPANS", spans))
             drain_reads()

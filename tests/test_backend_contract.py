@@ -24,7 +24,10 @@ from repro import (
 from repro.core.ags import Branch
 from repro.parallel import MultiprocessRuntime, ThreadedReplicaRuntime
 
-BACKENDS = ["local", "threaded", "multiproc"]
+# The -s4 variants run the same runtimes partitioned into 4 shard groups
+# (still 3 replicas per shard): the whole contract — semantics, crash
+# handling, fingerprint convergence, metrics — must be shard-transparent.
+BACKENDS = ["local", "threaded", "multiproc", "threaded-s4", "multiproc-s4"]
 
 
 @pytest.fixture(params=BACKENDS)
@@ -33,6 +36,10 @@ def rt(request):
         runtime = LocalRuntime()
     elif request.param == "threaded":
         runtime = ThreadedReplicaRuntime(n_replicas=3)
+    elif request.param == "threaded-s4":
+        runtime = ThreadedReplicaRuntime(n_replicas=3, shards=4)
+    elif request.param == "multiproc-s4":
+        runtime = MultiprocessRuntime(n_replicas=3, shards=4)
     else:
         runtime = MultiprocessRuntime(n_replicas=3)
     yield runtime
