@@ -36,6 +36,7 @@ from repro.replication.group import CLIENT_ORIGIN
 CLIENTS = 8
 BLOCKING_OPS = {"threaded": 250, "multiproc": 100}  # outs per client
 PIPELINED_OPS = {"threaded": 600, "multiproc": 250}
+QUICK_DIVISOR = 5
 
 
 def _spawn_clients(clients: int, body) -> float:
@@ -96,18 +97,22 @@ def _pipelined_throughput(rt, clients: int, per_client: int) -> float:
     return clients * per_client / drained
 
 
-def _measure(make_rt, name: str) -> dict[bool, dict[str, float]]:
+def _measure(make_rt, name: str, div: int) -> dict[bool, dict[str, float]]:
     """{batching: {"blocking": out/s, "pipelined": out/s, "batch": mean}}."""
     results: dict[bool, dict[str, float]] = {}
     for batching in (False, True):
         rt = make_rt(batching)
         try:
-            blocking = _blocking_throughput(rt, CLIENTS, BLOCKING_OPS[name])
+            blocking = _blocking_throughput(
+                rt, CLIENTS, BLOCKING_OPS[name] // div
+            )
         finally:
             rt.shutdown()
         rt = make_rt(batching)
         try:
-            pipelined = _pipelined_throughput(rt, CLIENTS, PIPELINED_OPS[name])
+            pipelined = _pipelined_throughput(
+                rt, CLIENTS, PIPELINED_OPS[name] // div
+            )
             mean_batch = rt.metrics_snapshot()["histograms"]["batch_size"]["mean"]
         finally:
             rt.shutdown()
@@ -117,8 +122,9 @@ def _measure(make_rt, name: str) -> dict[bool, dict[str, float]]:
     return results
 
 
-def run_benchmark() -> dict[str, dict[bool, dict[str, float]]]:
+def run_benchmark(quick: bool = False) -> dict[str, dict[bool, dict[str, float]]]:
     """Measure both backends, save the report table, return raw numbers."""
+    div = QUICK_DIVISOR if quick else 1
     table = Table(
         f"Command batching: out/s with {CLIENTS} concurrent clients",
         ["backend", "mode", "blocking out/s", "pipelined out/s",
@@ -129,7 +135,7 @@ def run_benchmark() -> dict[str, dict[bool, dict[str, float]]]:
         ("threaded", lambda b: ThreadedReplicaRuntime(3, batching=b)),
         ("multiproc", lambda b: MultiprocessRuntime(3, batching=b)),
     ):
-        res = _measure(make_rt, name)
+        res = _measure(make_rt, name, div)
         out[name] = res
         speedup = res[True]["pipelined"] / res[False]["pipelined"]
         table.add(name, "unbatched", res[False]["blocking"],
@@ -159,9 +165,13 @@ def test_batching_throughput(benchmark):
 def main(argv=None) -> int:
     import argparse
 
-    from repro.bench import save_json
+    from repro.bench import make_result, metric, save_result
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"{QUICK_DIVISOR}x fewer ops per cell (CI smoke)",
+    )
     parser.add_argument(
         "--json",
         metavar="OUT",
@@ -170,20 +180,32 @@ def main(argv=None) -> int:
         "benchmarks/results/BENCH_batching.json)",
     )
     opts = parser.parse_args(argv)
-    out = run_benchmark()
-    payload = {
-        "benchmark": "batching",
-        "clients": CLIENTS,
-        "ops": {"blocking": BLOCKING_OPS, "pipelined": PIPELINED_OPS},
-        "results": {
-            name: {
-                ("batched" if batching else "unbatched"): numbers
-                for batching, numbers in res.items()
-            }
-            for name, res in out.items()
+    out = run_benchmark(quick=opts.quick)
+    metrics: dict[str, dict] = {}
+    for name, res in out.items():
+        metrics[f"{name}_blocking_batched_out_per_s"] = metric(
+            res[True]["blocking"], "higher", unit="ops/s"
+        )
+        metrics[f"{name}_pipelined_unbatched_out_per_s"] = metric(
+            res[False]["pipelined"], "higher", unit="ops/s"
+        )
+        metrics[f"{name}_pipelined_batched_out_per_s"] = metric(
+            res[True]["pipelined"], "higher", unit="ops/s"
+        )
+        metrics[f"{name}_pipelined_speedup"] = metric(
+            res[True]["pipelined"] / res[False]["pipelined"], "higher"
+        )
+        metrics[f"{name}_mean_batch"] = metric(res[True]["batch"], "higher")
+    payload = make_result(
+        "batching",
+        metrics,
+        config={
+            "clients": CLIENTS,
+            "ops": {"blocking": BLOCKING_OPS, "pipelined": PIPELINED_OPS},
         },
-    }
-    print(f"wrote {save_json(payload, opts.json)}")
+        quick=opts.quick,
+    )
+    print(f"wrote {save_result(payload, opts.json)}")
     return 0
 
 

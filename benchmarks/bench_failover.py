@@ -32,7 +32,7 @@ import threading
 import time
 
 from repro import formal
-from repro.bench import Table, save_json, save_table
+from repro.bench import Table, make_result, metric, save_result, save_table
 from repro.chaos import ChaosMonkey
 from repro.core.statemachine import FAILURE_TAG
 from repro.parallel import MultiprocessRuntime, ThreadedReplicaRuntime
@@ -131,7 +131,13 @@ def _median(trials: list[dict[str, float]], key: str) -> float:
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true", help="CI-sized run")
-    ap.add_argument("--json", metavar="OUT", help="save machine-readable results")
+    ap.add_argument(
+        "--json",
+        metavar="OUT",
+        default="BENCH_failover.json",
+        help="machine-readable results path (default: "
+        "benchmarks/results/BENCH_failover.json)",
+    )
     ap.add_argument(
         "--repeats", type=int, default=0,
         help="trials per backend (default: 3, or 1 with --quick)",
@@ -147,17 +153,14 @@ def main() -> None:
         ["backend", "detect ms", "visible ms", "recover ms",
          "max stall ms", "ops", "converged"],
     )
-    payload: dict[str, object] = {
-        "replicas": N_REPLICAS,
-        "clients": CLIENTS,
-        "policy": POLICY_KW,
-        "repeats": repeats,
-    }
+    # Failover latencies are detector-timing plus scheduler noise, so the
+    # tolerances are deliberately loose: a real regression here is a 2x
+    # move, not a 25% one.
+    metrics: dict[str, dict] = {}
     for backend in ("threaded", "multiproc"):
         trials = [
             _failover_trial(backend, churn_s, seed) for seed in range(repeats)
         ]
-        payload[backend] = trials
         table.add(
             backend,
             f"{_median(trials, 'detect_s') * 1e3:.0f}",
@@ -167,10 +170,40 @@ def main() -> None:
             f"{_median(trials, 'ops'):.0f}",
             "yes" if all(t["converged"] for t in trials) else "NO",
         )
+        metrics[f"{backend}_detect_s"] = metric(
+            _median(trials, "detect_s"), "lower", unit="s", tolerance=1.0
+        )
+        metrics[f"{backend}_visible_s"] = metric(
+            _median(trials, "visible_s"), "lower", unit="s", tolerance=1.0
+        )
+        metrics[f"{backend}_recover_s"] = metric(
+            _median(trials, "recover_s"), "lower", unit="s", tolerance=1.0
+        )
+        metrics[f"{backend}_max_stall_s"] = metric(
+            _median(trials, "max_stall_s"), "lower", unit="s", tolerance=1.5
+        )
+        metrics[f"{backend}_churn_ops"] = metric(
+            _median(trials, "ops"), "higher", unit="ops"
+        )
+        metrics[f"{backend}_converged"] = metric(
+            1.0 if all(t["converged"] for t in trials) else 0.0,
+            "higher",
+            tolerance=0.01,
+        )
     print(table.render())
     save_table(table, "bench_failover")
-    if args.json:
-        save_json(payload, args.json)
+    payload = make_result(
+        "failover",
+        metrics,
+        config={
+            "replicas": N_REPLICAS,
+            "clients": CLIENTS,
+            "policy": POLICY_KW,
+            "repeats": repeats,
+        },
+        quick=args.quick,
+    )
+    print(f"json -> {save_result(payload, args.json)}")
 
 
 if __name__ == "__main__":

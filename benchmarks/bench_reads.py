@@ -32,7 +32,7 @@ import threading
 import time
 
 from repro import formal
-from repro.bench import Table, save_json, save_table
+from repro.bench import Table, make_result, metric, save_result, save_table
 from repro.parallel import MultiprocessRuntime, ThreadedReplicaRuntime
 
 CLIENT_COUNTS = (1, 4)  # per-read-cost regime vs. batch-amortized regime
@@ -155,7 +155,13 @@ def _consistency_under_faults(quick: bool) -> dict[str, object]:
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true", help="CI-sized run")
-    ap.add_argument("--json", metavar="OUT", help="save machine-readable results")
+    ap.add_argument(
+        "--json",
+        metavar="OUT",
+        default="BENCH_reads.json",
+        help="machine-readable results path (default: "
+        "benchmarks/results/BENCH_reads.json)",
+    )
     args = ap.parse_args()
 
     table = Table(
@@ -164,10 +170,7 @@ def main() -> None:
         ["backend", "clients", "read path", "rd/s", "fastpath", "fallback",
          "speedup"],
     )
-    payload: dict[str, object] = {
-        "replicas": N_REPLICAS,
-        "client_counts": list(CLIENT_COUNTS),
-    }
+    metrics: dict[str, dict] = {}
 
     for backend, make_rt in (
         ("threaded", ThreadedReplicaRuntime),
@@ -176,7 +179,6 @@ def main() -> None:
         per_client = READS_PER_CLIENT[backend]
         if args.quick:
             per_client //= 4
-        payload[backend] = {}
         for clients in CLIENT_COUNTS:
             rows: dict[bool, dict[str, float]] = {}
             for fastpath in (False, True):
@@ -199,24 +201,37 @@ def main() -> None:
                     f"{r['read_fallback']:.0f}",
                     f"{speedup:.2f}x" if fastpath else "1.00x",
                 )
-            payload[backend][f"clients_{clients}"] = {
-                "ordered": rows[False],
-                "fast": rows[True],
-                "speedup": speedup,
-            }
+            key = f"{backend}_c{clients}"
+            metrics[f"{key}_ordered_rd_per_s"] = metric(
+                rows[False]["rd_per_s"], "higher", unit="rd/s"
+            )
+            metrics[f"{key}_fast_rd_per_s"] = metric(
+                rows[True]["rd_per_s"], "higher", unit="rd/s"
+            )
+            metrics[f"{key}_speedup"] = metric(speedup, "higher")
 
     print(table.render())
     print("consistency under faults (crash mid-stream, mixed read/write):")
     faults = _consistency_under_faults(args.quick)
-    payload["consistency"] = faults
     for backend, verdict in faults.items():
         print(f"  {backend}: {verdict}")
         assert verdict["converged"], f"{backend} replicas diverged"
+        metrics[f"{backend}_fault_converged"] = metric(
+            1.0 if verdict["converged"] else 0.0, "higher", tolerance=0.01
+        )
 
     save_table(table, "bench_reads")
-    if args.json:
-        path = save_json(payload, args.json)
-        print(f"json -> {path}")
+    payload = make_result(
+        "reads",
+        metrics,
+        config={
+            "replicas": N_REPLICAS,
+            "client_counts": list(CLIENT_COUNTS),
+            "read_mix": READ_MIX,
+        },
+        quick=args.quick,
+    )
+    print(f"json -> {save_result(payload, args.json)}")
 
 
 if __name__ == "__main__":

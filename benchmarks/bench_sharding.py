@@ -39,7 +39,7 @@ import time
 from typing import Any, Callable
 
 from repro import AGS, Op, formal
-from repro.bench import Table, save_json, save_table
+from repro.bench import Table, save_table
 from repro.obs.check import check_consistency
 from repro.obs.tracing import FlightRecorder
 from repro.parallel import MultiprocessRuntime, ThreadedReplicaRuntime
@@ -207,6 +207,8 @@ def test_sharding_throughput(benchmark):
 def main(argv=None) -> int:
     import argparse
 
+    from repro.bench import make_result, metric, save_result
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true",
@@ -221,19 +223,34 @@ def main(argv=None) -> int:
     )
     opts = parser.parse_args(argv)
     out = run_benchmark(quick=opts.quick)
-    payload = {
-        "benchmark": "sharding",
-        "quick": opts.quick,
-        "clients": CLIENTS,
-        "channels": CHANNELS,
-        "fleet": FLEET,
-        "shard_counts": list(SHARD_COUNTS),
-        **out,
-    }
+    metrics: dict[str, dict] = {}
+    for name, per_backend in out["results"].items():
+        for shards, numbers in per_backend.items():
+            key = f"{name}_shards{shards}"
+            metrics[f"{key}_pipelined_out_per_s"] = metric(
+                numbers["pipelined_out_per_s"], "higher", unit="ops/s"
+            )
+            metrics[f"{key}_blocking_pair_per_s"] = metric(
+                numbers["blocking_pair_per_s"], "higher", unit="pairs/s"
+            )
     mp = out["results"]["multiproc"]
     scaling = mp[4]["pipelined_out_per_s"] / mp[1]["pipelined_out_per_s"]
-    payload["multiproc_scaling_1_to_4"] = round(scaling, 3)
-    print(f"wrote {save_json(payload, opts.json)}")
+    metrics["multiproc_scaling_1_to_4"] = metric(scaling, "higher")
+    metrics["cross_shard_consistency_ok"] = metric(
+        1.0 if out["consistency"]["ok"] else 0.0, "higher", tolerance=0.01
+    )
+    payload = make_result(
+        "sharding",
+        metrics,
+        config={
+            "clients": CLIENTS,
+            "channels": CHANNELS,
+            "fleet": FLEET,
+            "shard_counts": list(SHARD_COUNTS),
+        },
+        quick=opts.quick,
+    )
+    print(f"wrote {save_result(payload, opts.json)}")
     print(f"multiproc pipelined out/s scaling 1->4 shards: {scaling:.2f}x")
     return 0
 

@@ -32,6 +32,7 @@ from repro.parallel import MultiprocessRuntime, ThreadedReplicaRuntime
 
 CLIENTS = 8
 OPS = {"threaded": 250, "multiproc": 100}  # blocking outs per client
+QUICK_DIVISOR = 5
 
 
 def _spawn_clients(clients: int, body) -> float:
@@ -73,8 +74,9 @@ CONFIGS = [
 ]
 
 
-def run_benchmark() -> dict[str, dict[str, float]]:
+def run_benchmark(quick: bool = False) -> dict[str, dict[str, float]]:
     """Measure both backends, save the report table, return raw numbers."""
+    div = QUICK_DIVISOR if quick else 1
     table = Table(
         f"Flight-recorder overhead: blocking out/s, {CLIENTS} clients",
         ["backend", "tracing", "out/s", "events", "vs off"],
@@ -84,7 +86,7 @@ def run_benchmark() -> dict[str, dict[str, float]]:
         ("threaded", lambda t: ThreadedReplicaRuntime(3, tracer=t)),
         ("multiproc", lambda t: MultiprocessRuntime(3, tracer=t)),
     ):
-        per = OPS[name]
+        per = OPS[name] // div
         rates: dict[str, float] = {}
         for label, make_tracer in CONFIGS:
             tracer = make_tracer()
@@ -119,9 +121,13 @@ def test_tracing_overhead(benchmark):
 def main(argv=None) -> int:
     import argparse
 
-    from repro.bench import save_json
+    from repro.bench import make_result, metric, save_result
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"{QUICK_DIVISOR}x fewer ops per cell (CI smoke)",
+    )
     parser.add_argument(
         "--json",
         metavar="OUT",
@@ -130,14 +136,28 @@ def main(argv=None) -> int:
         "benchmarks/results/BENCH_tracing.json)",
     )
     opts = parser.parse_args(argv)
-    out = run_benchmark()
-    payload = {
-        "benchmark": "tracing",
-        "clients": CLIENTS,
-        "ops": OPS,
-        "results": out,
-    }
-    print(f"wrote {save_json(payload, opts.json)}")
+    out = run_benchmark(quick=opts.quick)
+    metrics: dict[str, dict] = {}
+    for name, rates in out.items():
+        metrics[f"{name}_off_out_per_s"] = metric(
+            rates["off"], "higher", unit="ops/s"
+        )
+        metrics[f"{name}_on_out_per_s"] = metric(
+            rates["on"], "higher", unit="ops/s"
+        )
+        # the headline number: enabled-tracing throughput as a fraction
+        # of untraced — must stay near 1.0
+        metrics[f"{name}_on_vs_off"] = metric(rates["on"] / rates["off"], "higher")
+        metrics[f"{name}_wrap_vs_off"] = metric(
+            rates["on+wrap"] / rates["off"], "higher"
+        )
+    payload = make_result(
+        "tracing",
+        metrics,
+        config={"clients": CLIENTS, "ops": OPS},
+        quick=opts.quick,
+    )
+    print(f"wrote {save_result(payload, opts.json)}")
     return 0
 
 

@@ -1,0 +1,307 @@
+"""The unified perf-regression harness: one schema, one comparator.
+
+Every ``benchmarks/bench_*.py`` used to write its own ad-hoc JSON shape,
+so the repo's perf trajectory was write-only: nothing could compare a
+fresh run against the committed numbers.  This module is the contract
+that makes BENCH results machine-comparable from now on:
+
+- :func:`make_result` — wraps a benchmark's named scalar metrics in the
+  standardized payload (schema version, benchmark name, git sha, UTC
+  timestamp, host info, config), each metric carrying its ``direction``
+  ("higher" is better, or "lower") and an optional per-metric relative
+  ``tolerance`` overriding the comparison default;
+- :func:`save_result` / :func:`load_result` — committed baselines live at
+  ``benchmarks/results/BENCH_<name>.json`` (:func:`baseline_path`), so
+  *running a benchmark in place IS the baseline-refresh workflow*; CI
+  runs write elsewhere (``--out-dir``) and diff against the committed
+  files;
+- :func:`validate_result` — the schema gate ``repro.cli bench run``
+  enforces (a benchmark whose output stops conforming is a harness
+  failure, exit 2, even when every number is fast);
+- :func:`compare` / :func:`render_comparison` — direction-aware diff of
+  a run against a baseline: each metric gets a verdict (``ok`` /
+  ``improved`` / ``regressed`` / ``new`` / ``missing``), where
+  "regressed" means moved in the bad direction by more than the metric's
+  tolerance.  ``repro.cli bench compare`` turns the verdicts into exit
+  codes (0 clean, 1 regressions, 2 missing/violated schema).
+
+The tuple-space-efficiency survey (PAPERS.md) defines the comparison
+axes a Linda implementation should track — op costs, scaling, latency
+decomposition; the committed BENCH files are this repo's instance of
+that table, and this harness is what keeps them comparable run to run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from typing import Any, Iterable, Mapping
+
+from repro.bench.tables import results_dir, save_json
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "SCHEMA_VERSION",
+    "baseline_path",
+    "compare",
+    "load_result",
+    "make_result",
+    "metric",
+    "render_comparison",
+    "save_result",
+    "validate_result",
+]
+
+SCHEMA_VERSION = 1
+
+#: Default relative tolerance: a metric moving more than this fraction in
+#: the bad direction counts as a regression.  Generous on purpose — these
+#: are wall-clock benchmarks on shared CI machines; per-metric
+#: ``tolerance`` overrides it for steadier (or noisier) metrics.
+DEFAULT_TOLERANCE = 0.25
+
+_DIRECTIONS = ("higher", "lower")
+
+
+def metric(
+    value: float,
+    direction: str = "higher",
+    *,
+    unit: str = "",
+    tolerance: float | None = None,
+) -> dict[str, Any]:
+    """One named scalar in the standardized payload.
+
+    ``direction`` states which way is *better* ("higher" for throughput,
+    "lower" for latency); ``tolerance`` optionally overrides the
+    comparison default for this metric alone.
+    """
+    if direction not in _DIRECTIONS:
+        raise ValueError(f"direction must be one of {_DIRECTIONS}")
+    m: dict[str, Any] = {"value": float(value), "direction": direction}
+    if unit:
+        m["unit"] = unit
+    if tolerance is not None:
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        m["tolerance"] = float(tolerance)
+    return m
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except Exception:  # noqa: BLE001 - host info is best-effort
+        pass
+    return "unknown"
+
+
+def _host_info() -> dict[str, Any]:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def make_result(
+    benchmark: str,
+    metrics: Mapping[str, Mapping[str, Any]],
+    *,
+    config: Mapping[str, Any] | None = None,
+    quick: bool = False,
+) -> dict[str, Any]:
+    """Assemble the standardized payload for one benchmark run."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "git_sha": _git_sha(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": _host_info(),
+        "config": dict(config or {}),
+        "quick": bool(quick),
+        "metrics": {name: dict(m) for name, m in metrics.items()},
+    }
+    errors = validate_result(payload)
+    if errors:
+        raise ValueError(f"benchmark {benchmark!r} payload invalid: {errors}")
+    return payload
+
+
+def validate_result(payload: Any) -> list[str]:
+    """Schema check; returns human-readable violations (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(payload, Mapping):
+        return ["payload is not an object"]
+    if payload.get("schema") != SCHEMA_VERSION:
+        errors.append(
+            f"schema version {payload.get('schema')!r} != {SCHEMA_VERSION}"
+        )
+    if not payload.get("benchmark"):
+        errors.append("missing benchmark name")
+    for key in ("git_sha", "timestamp", "host", "config"):
+        if key not in payload:
+            errors.append(f"missing {key}")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, Mapping) or not metrics:
+        errors.append("metrics must be a non-empty object")
+        return errors
+    for name, m in metrics.items():
+        if not isinstance(m, Mapping):
+            errors.append(f"metric {name!r} is not an object")
+            continue
+        value = m.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"metric {name!r} has non-numeric value")
+        if m.get("direction") not in _DIRECTIONS:
+            errors.append(f"metric {name!r} direction must be higher|lower")
+        tol = m.get("tolerance")
+        if tol is not None and (
+            not isinstance(tol, (int, float)) or tol <= 0
+        ):
+            errors.append(f"metric {name!r} tolerance must be positive")
+    return errors
+
+
+def baseline_path(benchmark: str, directory: str | None = None) -> str:
+    """Where *benchmark*'s committed baseline lives."""
+    return os.path.join(
+        directory if directory is not None else results_dir(),
+        f"BENCH_{benchmark}.json",
+    )
+
+
+def save_result(payload: Mapping[str, Any], path: str | None = None) -> str:
+    """Persist a run; default path is its committed-baseline location."""
+    if path is None:
+        path = baseline_path(str(payload["benchmark"]))
+    return save_json(payload, path)
+
+
+def load_result(path: str) -> dict[str, Any]:
+    with open(path) as f:
+        return json.load(f)
+
+
+# --------------------------------------------------------------------------- #
+# comparison
+# --------------------------------------------------------------------------- #
+
+
+def compare(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    *,
+    default_tolerance: float = DEFAULT_TOLERANCE,
+) -> list[dict[str, Any]]:
+    """Direction-aware metric-by-metric diff of *current* vs *baseline*.
+
+    One row per metric name present in either payload:
+
+    ``ok``         within tolerance of the baseline
+    ``improved``   moved in the good direction past the tolerance
+    ``regressed``  moved in the bad direction past the tolerance
+    ``new``        in the current run but not the baseline (informational)
+    ``missing``    in the baseline but gone from the current run — a
+                   harness/schema problem, not a perf one: the benchmark
+                   stopped measuring something it used to
+    """
+    cur = current.get("metrics", {})
+    base = baseline.get("metrics", {})
+    rows: list[dict[str, Any]] = []
+    for name in sorted(set(cur) | set(base)):
+        c, b = cur.get(name), base.get(name)
+        if b is None:
+            rows.append(
+                {
+                    "metric": name,
+                    "baseline": None,
+                    "current": c["value"],
+                    "delta_pct": None,
+                    "direction": c.get("direction", "higher"),
+                    "verdict": "new",
+                }
+            )
+            continue
+        if c is None:
+            rows.append(
+                {
+                    "metric": name,
+                    "baseline": b["value"],
+                    "current": None,
+                    "delta_pct": None,
+                    "direction": b.get("direction", "higher"),
+                    "verdict": "missing",
+                }
+            )
+            continue
+        direction = c.get("direction", b.get("direction", "higher"))
+        tol = c.get("tolerance", b.get("tolerance", default_tolerance))
+        bv, cv = b["value"], c["value"]
+        delta = (cv - bv) / bv if bv else (0.0 if cv == bv else float("inf"))
+        good_delta = delta if direction == "higher" else -delta
+        if good_delta < -tol:
+            verdict = "regressed"
+        elif good_delta > tol:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        rows.append(
+            {
+                "metric": name,
+                "baseline": bv,
+                "current": cv,
+                "delta_pct": 100.0 * delta,
+                "direction": direction,
+                "tolerance": tol,
+                "verdict": verdict,
+            }
+        )
+    return rows
+
+
+def _fmt_value(v: Any) -> str:
+    if v is None:
+        return "-"
+    if abs(v) >= 1000:
+        return f"{v:,.0f}"
+    if abs(v) >= 1:
+        return f"{v:.2f}"
+    return f"{v:.5f}"
+
+
+def render_comparison(
+    benchmark: str, rows: Iterable[Mapping[str, Any]]
+) -> str:
+    """The ``bench compare`` report for one benchmark (pure string)."""
+    lines = [
+        f"BENCH {benchmark}",
+        f"{'METRIC':<40} {'BASELINE':>12} {'CURRENT':>12} "
+        f"{'DELTA':>8} {'DIR':>6}  VERDICT",
+    ]
+    for r in rows:
+        delta = (
+            f"{r['delta_pct']:+.1f}%" if r.get("delta_pct") is not None else "-"
+        )
+        mark = {
+            "regressed": " <-- REGRESSION",
+            "missing": " <-- MISSING METRIC",
+        }.get(r["verdict"], "")
+        lines.append(
+            f"{r['metric']:<40.40} {_fmt_value(r['baseline']):>12} "
+            f"{_fmt_value(r['current']):>12} {delta:>8} "
+            f"{r['direction']:>6}  {r['verdict']}{mark}"
+        )
+    return "\n".join(lines)

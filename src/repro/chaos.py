@@ -201,6 +201,9 @@ class ChaosMonkey:
         ``action`` names any fault method above.  Runs on the calling
         thread; wrap in a thread to chaos a live workload.
         """
+        from repro.obs.profile import register_thread
+
+        register_thread("chaos")
         for delay, action, args in steps:
             if delay > 0:
                 time.sleep(delay)

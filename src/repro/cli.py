@@ -14,6 +14,9 @@ Run::
     python -m repro.cli trace --backend multiproc --ops 100 --out trace.json
     python -m repro.cli top --backend threaded --wedge --once
     python -m repro.cli chaos --backend multiproc --seed 1
+    python -m repro.cli profile --backend multiproc --out prof.speedscope.json
+    python -m repro.cli bench run --quick
+    python -m repro.cli bench compare --current-dir /tmp/ci-bench
 
 The ``metrics`` subcommand drives a small tuple-churn workload on a
 chosen backend and prints the runtime's metrics snapshot (submit→order,
@@ -35,7 +38,31 @@ stall-detector verdicts), replica queue depth/lag, and WAL size.
 ``--once`` renders a single frame and exits (CI smoke / scripting);
 ``--wedge`` spawns a consumer blocked on a template nobody deposits, to
 watch the stall detector fire; ``--export FILE`` also writes each frame
-as a Prometheus text-format snapshot.
+as a Prometheus text-format snapshot; ``--json`` emits the frame's raw
+data (introspection snapshot, metrics, stall verdicts, stage budget) as
+one JSON document instead of the rendered panel.  With ``REPRO_STAGES=1``
+in the environment the metrics carry the per-stage pipeline histograms
+and the panel ends with the "where does a millisecond go" budget.
+
+The ``profile`` subcommand runs the continuous sampling profiler over a
+churn workload: hot runtime threads appear under their registered role
+names (``sequencer``, ``replica-2``, ``read-flusher``, ...; shard-
+qualified on sharded runtimes), and on the multiprocess backend each
+replica OS process is sampled in situ via the in-band query lane.  The
+folded profile is exported as speedscope JSON (``--format speedscope``,
+load at https://www.speedscope.app) or collapsed flamegraph text
+(``--format collapsed``, pipe into ``flamegraph.pl``); ``--once`` is the
+short gating smoke that fails unless samples landed on named roles.
+
+The ``bench`` subcommand is the perf-regression harness driver:
+``bench run`` executes ``benchmarks/bench_*.py`` each in its own
+interpreter, writing standardized ``BENCH_*.json`` results (schema
+``repro.bench.runner``) — by default straight into
+``benchmarks/results/``, which IS the baseline-refresh workflow;
+``bench compare`` diffs a results directory against the committed
+baselines with per-metric direction-aware tolerances.  Exit codes: 0
+clean, 1 regressions (suppressible with ``--allow-regressions`` for
+non-gating CI), 2 run/schema failures or vanished metrics.
 
 The ``chaos`` subcommand is the failure-detection demo: it drives churn
 on a parallel backend with the liveness plane enabled, hard-kills a
@@ -429,6 +456,24 @@ def _trace_main(argv: list[str]) -> int:
     return 0 if report.ok else 1
 
 
+def _jsonable(value: Any) -> Any:
+    """Recursively coerce a snapshot into JSON-clean data.
+
+    Introspection snapshots key hot-template counters by template tuples;
+    JSON needs string keys, so non-primitive keys become their ``repr``.
+    """
+    if isinstance(value, dict):
+        return {
+            (k if isinstance(k, str) else repr(k)): _jsonable(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
 def _top_main(argv: list[str]) -> int:
     """``python -m repro.cli top``: the live introspection dashboard."""
     import threading
@@ -480,6 +525,12 @@ def _top_main(argv: list[str]) -> int:
         help="also write each frame as a Prometheus text-format snapshot",
     )
     parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit each frame's raw data (introspection, metrics, stalls, "
+        "stage budget) as one JSON document instead of the panel",
+    )
+    parser.add_argument(
         "--wal",
         metavar="PATH",
         help="use a write-ahead-logged runtime at PATH (local backend only)",
@@ -528,14 +579,33 @@ def _top_main(argv: list[str]) -> int:
         while True:
             snap = rt.introspection_snapshot()
             stalls = detect_stalls(snap, opts.stall_threshold)
-            frame = render_top(snap, rt.metrics_snapshot(), stalls)
-            if not opts.once:
-                sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
-            print(frame)
+            metrics = rt.metrics_snapshot()
+            if opts.json:
+                import json
+
+                from repro.obs.stages import stage_budget
+
+                print(json.dumps(
+                    _jsonable(
+                        {
+                            "introspection": snap,
+                            "metrics": metrics,
+                            "stalls": stalls,
+                            "stage_budget": stage_budget(metrics),
+                        }
+                    ),
+                    indent=2,
+                    sort_keys=True,
+                ))
+            else:
+                frame = render_top(snap, metrics, stalls)
+                if not opts.once:
+                    sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+                print(frame)
             sys.stdout.flush()
             if opts.export:
                 with open(opts.export, "w") as f:
-                    f.write(to_prometheus(snap, rt.metrics_snapshot(), stalls))
+                    f.write(to_prometheus(snap, metrics, stalls))
             n += 1
             if frames and n >= frames:
                 break
@@ -671,6 +741,285 @@ def _chaos_main(argv: list[str]) -> int:
     return 0 if converged else 1
 
 
+def _profile_main(argv: list[str]) -> int:
+    """``python -m repro.cli profile``: sample a churn workload, export."""
+    import json
+    import threading
+    import time
+
+    from repro.obs.profile import (
+        DEFAULT_HZ,
+        role_summary,
+        to_collapsed,
+        to_speedscope,
+    )
+
+    parser = _workload_parser(
+        "ftlsh profile",
+        "run the continuous sampling profiler over a churn workload and "
+        "export the folded stacks (roles: sequencer, replica-N, ...)",
+    )
+    parser.add_argument(
+        "--hz", type=float, default=DEFAULT_HZ,
+        help=f"sampling rate (default: {DEFAULT_HZ:g})",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=2.0,
+        help="seconds of churn to sample (default: 2)",
+    )
+    parser.add_argument(
+        "--out",
+        default="profile.speedscope.json",
+        help="export path (default: profile.speedscope.json)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("speedscope", "collapsed"),
+        default="speedscope",
+        help="export format (default: speedscope)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="short smoke: sample briefly, fail unless samples landed on "
+        "named runtime roles (CI gate)",
+    )
+    opts = parser.parse_args(argv)
+    if opts.backend == "local":
+        parser.error("profile needs a parallel backend "
+                     "(--backend threaded|multiproc)")
+    duration = 0.8 if opts.once else opts.duration
+
+    rt = _build_runtime(opts)
+    stop = threading.Event()
+
+    def churn_forever(client: int) -> None:
+        k = 0
+        while not stop.is_set():
+            rt.out(rt.main_ts, "prof-op", client, k)
+            rt.rd(rt.main_ts, "prof-op", client, k)
+            rt.in_(rt.main_ts, "prof-op", client, k)
+            k += 1
+
+    try:
+        _run_churn(rt, opts.clients, min(opts.ops, 50))  # absorb startup
+        rt.start_profiling(opts.hz)
+        threads = [
+            threading.Thread(
+                target=churn_forever, args=(c,), name=f"client-{c}"
+            )
+            for c in range(opts.clients)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(duration)
+        stop.set()
+        for t in threads:
+            t.join(timeout=30.0)
+        folded = rt.stop_profiling()
+    finally:
+        stop.set()
+        _shutdown(rt)
+
+    total = sum(folded.values())
+    print(
+        f"backend={opts.backend} hz={opts.hz:g} duration={duration:g}s "
+        f"stacks={len(folded)} samples={total}"
+    )
+    for role, n, share in role_summary(folded):
+        print(f"  {share:6.1%}  {n:>7}  {role}")
+    if opts.format == "speedscope":
+        with open(opts.out, "w") as f:
+            json.dump(to_speedscope(folded), f)
+    else:
+        with open(opts.out, "w") as f:
+            f.write(to_collapsed(folded))
+    print(f"wrote {opts.out} ({opts.format})")
+    named = [
+        role
+        for role, _n, _s in role_summary(folded)
+        if any(tag in role for tag in ("sequencer", "replica-", "read-flusher"))
+    ]
+    if total == 0 or not named:
+        print("SMOKE FAIL: no samples attributed to named runtime roles")
+        return 1
+    return 0
+
+
+#: The benchmarks `bench run` knows how to drive, in dependency-free order.
+BENCHMARKS = ("batching", "reads", "sharding", "failover", "tracing", "profile")
+
+
+def _benchmarks_dir() -> str:
+    import os
+
+    from repro.bench import results_dir
+
+    return os.path.dirname(results_dir())
+
+
+def _bench_compare_dirs(
+    names: list[str], current_dir: str, baseline_dir: str
+) -> tuple[int, int, int]:
+    """Compare per-benchmark results; return (regressed, missing, new)."""
+    import os
+
+    from repro.bench import (
+        baseline_path,
+        compare,
+        load_result,
+        render_comparison,
+        validate_result,
+    )
+
+    n_regressed = n_schema = n_new = 0
+    for name in names:
+        cur_path = baseline_path(name, current_dir)
+        base_path = baseline_path(name, baseline_dir)
+        if not os.path.exists(cur_path):
+            print(f"BENCH {name}: no current result at {cur_path}")
+            n_schema += 1
+            continue
+        current = load_result(cur_path)
+        errors = validate_result(current)
+        if errors:
+            print(f"BENCH {name}: current result violates schema: {errors}")
+            n_schema += 1
+            continue
+        if not os.path.exists(base_path):
+            print(f"BENCH {name}: no committed baseline (new benchmark)")
+            n_new += 1
+            continue
+        rows = compare(current, load_result(base_path))
+        print(render_comparison(name, rows))
+        print()
+        if any(r["verdict"] == "missing" for r in rows):
+            n_schema += 1
+        if any(r["verdict"] == "regressed" for r in rows):
+            n_regressed += 1
+    return n_regressed, n_schema, n_new
+
+
+def _bench_main(argv: list[str]) -> int:
+    """``python -m repro.cli bench run|compare``: the perf harness driver."""
+    import os
+    import subprocess
+
+    from repro.bench import baseline_path, load_result, results_dir, validate_result
+
+    parser = argparse.ArgumentParser(
+        prog="ftlsh bench",
+        description="run benchmarks under the standardized result schema "
+        "and compare runs against committed baselines",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    run_p = sub.add_parser("run", help="run benchmarks, write BENCH_*.json")
+    run_p.add_argument(
+        "names", nargs="*", default=[],
+        help=f"benchmarks to run (default: all of {', '.join(BENCHMARKS)})",
+    )
+    run_p.add_argument(
+        "--quick", action="store_true", help="CI-sized runs (--quick per bench)"
+    )
+    run_p.add_argument(
+        "--out-dir",
+        help="directory for the BENCH_*.json results (default: "
+        "benchmarks/results/ — i.e. refresh the committed baselines)",
+    )
+    run_p.add_argument(
+        "--compare", action="store_true",
+        help="after running, also compare against the committed baselines",
+    )
+    run_p.add_argument(
+        "--allow-regressions", action="store_true",
+        help="with --compare: report regressions but exit 0 for them "
+        "(schema/run failures still exit 2)",
+    )
+
+    cmp_p = sub.add_parser(
+        "compare", help="diff a results directory against baselines"
+    )
+    cmp_p.add_argument(
+        "names", nargs="*", default=[],
+        help=f"benchmarks to compare (default: all of {', '.join(BENCHMARKS)})",
+    )
+    cmp_p.add_argument(
+        "--current-dir",
+        help="directory holding the fresh results (default: benchmarks/results/)",
+    )
+    cmp_p.add_argument(
+        "--baseline-dir",
+        help="directory holding the baselines (default: benchmarks/results/)",
+    )
+    cmp_p.add_argument(
+        "--allow-regressions", action="store_true",
+        help="report regressions but exit 0 for them "
+        "(missing metrics / schema violations still exit 2)",
+    )
+
+    opts = parser.parse_args(argv)
+    names = list(opts.names) or list(BENCHMARKS)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        parser.error(f"unknown benchmark(s) {unknown}; have {list(BENCHMARKS)}")
+
+    if opts.action == "compare":
+        regressed, schema, _new = _bench_compare_dirs(
+            names,
+            opts.current_dir or results_dir(),
+            opts.baseline_dir or results_dir(),
+        )
+        if schema:
+            return 2
+        if regressed:
+            print(f"{regressed} benchmark(s) regressed")
+            return 0 if opts.allow_regressions else 1
+        return 0
+
+    # bench run
+    out_dir = opts.out_dir or results_dir()
+    os.makedirs(out_dir, exist_ok=True)
+    bench_dir = _benchmarks_dir()
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    failures = 0
+    for name in names:
+        script = os.path.join(bench_dir, f"bench_{name}.py")
+        out_path = baseline_path(name, out_dir)
+        cmd = [sys.executable, script, "--json", out_path]
+        if opts.quick:
+            cmd.append("--quick")
+        print(f"=== bench run {name}: {' '.join(cmd[1:])}")
+        proc = subprocess.run(cmd, env=env, cwd=bench_dir)
+        if proc.returncode != 0:
+            print(f"BENCH {name}: run failed (exit {proc.returncode})")
+            failures += 1
+            continue
+        if not os.path.exists(out_path):
+            print(f"BENCH {name}: wrote no result at {out_path}")
+            failures += 1
+            continue
+        errors = validate_result(load_result(out_path))
+        if errors:
+            print(f"BENCH {name}: result violates schema: {errors}")
+            failures += 1
+    if failures:
+        print(f"{failures} benchmark(s) failed to run or violated the schema")
+        return 2
+    if opts.compare:
+        regressed, schema, _new = _bench_compare_dirs(
+            names, out_dir, results_dir()
+        )
+        if schema:
+            return 2
+        if regressed:
+            print(f"{regressed} benchmark(s) regressed")
+            return 0 if opts.allow_regressions else 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "metrics":
@@ -681,6 +1030,10 @@ def main(argv: list[str] | None = None) -> int:
         return _top_main(argv[1:])
     if argv and argv[0] == "chaos":
         return _chaos_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ftlsh", description="interactive FT-Linda shell"
     )

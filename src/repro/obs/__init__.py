@@ -23,6 +23,20 @@ from repro.obs.inspect import (
     to_prometheus,
 )
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry, format_snapshot
+from repro.obs.profile import (
+    SamplingProfiler,
+    merge_folded,
+    register_thread,
+    to_collapsed,
+    to_speedscope,
+)
+from repro.obs.stages import (
+    disable_stage_attribution,
+    enable_stage_attribution,
+    render_budget,
+    stage_budget,
+    stages_enabled,
+)
 from repro.obs.tracing import FlightRecorder, SpanEvent, render_events, to_chrome_trace
 
 __all__ = [
@@ -31,15 +45,25 @@ __all__ = [
     "FlightRecorder",
     "Histogram",
     "MetricsRegistry",
+    "SamplingProfiler",
     "SpanEvent",
     "check_consistency",
     "detect_stalls",
     "disable_introspection",
+    "disable_stage_attribution",
     "enable_introspection",
+    "enable_stage_attribution",
     "format_snapshot",
     "introspection_enabled",
+    "merge_folded",
+    "register_thread",
+    "render_budget",
     "render_events",
     "render_top",
+    "stage_budget",
+    "stages_enabled",
     "to_chrome_trace",
+    "to_collapsed",
     "to_prometheus",
+    "to_speedscope",
 ]

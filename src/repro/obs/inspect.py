@@ -340,7 +340,12 @@ def to_prometheus(
         for name, value in metrics.get("counters", {}).items():
             family(f"{name}_total", "counter", f"{name} counter")
             lines.append(f"linda_{name}_total {value}")
+        for name, value in metrics.get("gauges", {}).items():
+            family(name, "gauge", f"{name} gauge")
+            lines.append(f"linda_{name} {value:g}")
         for name, h in metrics.get("histograms", {}).items():
+            # stage histograms export as linda_stage_*_seconds — the
+            # Prometheus side of the per-AGS pipeline budget
             lines.extend(_histogram_lines(name, h))
     return "\n".join(lines) + "\n"
 
@@ -497,4 +502,10 @@ def render_top(
                     f"{name:<16} {h['count']:>8} {h['mean']:>10.6f} "
                     f"{h['p50']:>10.6f} {h['p95']:>10.6f} {h['p99']:>10.6f}"
                 )
+        from repro.obs.stages import render_budget
+
+        budget = render_budget(metrics)
+        if budget:
+            lines.append("")
+            lines.append(budget)
     return "\n".join(lines)

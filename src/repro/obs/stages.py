@@ -1,0 +1,183 @@
+"""Stage-level latency attribution: where does a millisecond go?
+
+The metrics layer (PR 1) times three coarse points of the replication
+pipeline (submit→order, order→apply, end-to-end).  That answers *how
+slow* but not *where*: an AGS's end-to-end time is spent in distinct
+stages — waiting in the client submit queue for the sequencer, the
+broadcast itself, sitting in a replica's inbox FIFO, the state-machine
+apply, and the reply hop that wakes the client — and optimizing the hot
+path (ROADMAP item 3) needs the budget decomposed per stage, the way the
+LLFT paper (PAPERS.md) decomposes its latency budget.
+
+Attribution is **opt-in** with the same discipline as
+``enable_introspection()``: off (the default), the sequencer ships the
+classic two-element ``("BATCH", cmds)`` item and replicas emit nothing
+extra — zero bytes and zero branches added to the off path beyond one
+flag check per *batch*.  On, the sequencer stamps each batch with its
+broadcast time, and every replica answers each applied batch with one
+small ``("STAGES", …)`` emission carrying its inbox delay, its mean
+per-command apply time and its emit stamp — from which the group records
+four histogram families:
+
+========================  ==================================================
+``stage_broadcast``       transport.broadcast() duration per batch
+``stage_replica_queue``   broadcast → the replica dequeues the batch
+``stage_apply``           mean state-machine apply time per command (one
+                          sample per batch per replica)
+``stage_reply``           replica emit → the group's collector receives it
+                          (the wake/reply hop)
+========================  ==================================================
+
+``submit_to_order`` (which already measures client queue + sequencing)
+and ``ags_e2e`` complete the budget.  All stamps are ``time.monotonic``
+— system-wide on Linux, so replica-process stamps subtract cleanly from
+group-side stamps.
+
+The switch exports ``REPRO_STAGES=1`` so replica processes spawned
+afterwards come up stamping too; enable **before** constructing the
+runtime (groups and workers read the flag once, at start).
+
+:func:`stage_budget` turns a metrics snapshot into the per-stage budget
+table and :func:`render_budget` is the ``repro.cli top`` panel; the
+histograms export as ``linda_stage_*_seconds`` Prometheus families
+through the existing :func:`repro.obs.inspect.to_prometheus` path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping
+
+__all__ = [
+    "disable_stage_attribution",
+    "enable_stage_attribution",
+    "render_budget",
+    "stage_budget",
+    "stages_enabled",
+]
+
+_ENV_FLAG = "REPRO_STAGES"
+_ENABLED = False
+
+#: The pipeline budget, in pipeline order: (display label, histogram name,
+#: per_command).  Batch-granularity stages still attribute per command —
+#: every command in a batch experiences the whole batch's broadcast and
+#: inbox wait, so the batch-level sample IS its per-command estimate.
+BUDGET_STAGES: list[tuple[str, str]] = [
+    ("client queue + sequence", "submit_to_order"),
+    ("broadcast", "stage_broadcast"),
+    ("replica inbox", "stage_replica_queue"),
+    ("apply", "stage_apply"),
+    ("wake/reply", "stage_reply"),
+]
+
+
+def enable_stage_attribution() -> None:
+    """Turn on per-stage pipeline timing for runtimes constructed after.
+
+    Exported through the environment so replica processes spawned later
+    inherit the setting (the same mechanism as introspection).
+    """
+    global _ENABLED
+    _ENABLED = True
+    os.environ[_ENV_FLAG] = "1"
+
+
+def disable_stage_attribution() -> None:
+    """Revert :func:`enable_stage_attribution` for future runtimes."""
+    global _ENABLED
+    _ENABLED = False
+    os.environ.pop(_ENV_FLAG, None)
+
+
+def stages_enabled() -> bool:
+    """Read once at group/worker start — True in-process or inherited."""
+    return _ENABLED or os.environ.get(_ENV_FLAG) == "1"
+
+
+# ---------------------------------------------------------------------- #
+# the budget table
+# ---------------------------------------------------------------------- #
+
+
+def stage_budget(metrics: Mapping[str, Any]) -> list[dict[str, Any]]:
+    """Decompose the e2e mean into per-stage rows from a metrics snapshot.
+
+    Returns one row per stage with samples (``n``), ``mean``/``p95``
+    seconds and ``share`` — the stage mean as a fraction of the e2e mean
+    (the "where does a millisecond go" column).  Stages overlap-free in
+    the happy path sum to roughly e2e; what they do not cover (scheduler
+    wakeups, dedup, Python overhead) lands in the ``unattributed`` row,
+    so the table never silently over- or under-claims.
+    """
+    hists = metrics.get("histograms", {})
+    e2e = hists.get("ags_e2e", {})
+    e2e_mean = e2e.get("mean", 0.0)
+    rows: list[dict[str, Any]] = []
+    attributed = 0.0
+    for label, hist_name in BUDGET_STAGES:
+        h = hists.get(hist_name, {})
+        mean = h.get("mean", 0.0)
+        attributed += mean
+        rows.append(
+            {
+                "stage": label,
+                "metric": hist_name,
+                "n": h.get("count", 0),
+                "mean_s": mean,
+                "p95_s": h.get("p95", 0.0),
+                "share": (mean / e2e_mean) if e2e_mean else 0.0,
+            }
+        )
+    rows.append(
+        {
+            "stage": "unattributed",
+            "metric": None,
+            "n": e2e.get("count", 0),
+            "mean_s": max(0.0, e2e_mean - attributed),
+            "p95_s": 0.0,
+            "share": (
+                max(0.0, e2e_mean - attributed) / e2e_mean if e2e_mean else 0.0
+            ),
+        }
+    )
+    rows.append(
+        {
+            "stage": "end-to-end",
+            "metric": "ags_e2e",
+            "n": e2e.get("count", 0),
+            "mean_s": e2e_mean,
+            "p95_s": e2e.get("p95", 0.0),
+            "share": 1.0 if e2e_mean else 0.0,
+        }
+    )
+    return rows
+
+
+def _fmt_us(seconds: float) -> str:
+    if seconds >= 0.1:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def render_budget(metrics: Mapping[str, Any]) -> str:
+    """The terminal "WHERE DOES A MILLISECOND GO" panel (pure string).
+
+    Empty string when no stage histogram has samples — callers can
+    unconditionally append the panel and get nothing on runtimes where
+    attribution is off.
+    """
+    rows = stage_budget(metrics)
+    if not any(r["n"] and r["metric"] and r["metric"].startswith("stage_") for r in rows):
+        return ""
+    lines = [
+        "WHERE DOES A MILLISECOND GO (per-AGS pipeline budget)",
+        f"{'STAGE':<24} {'N':>8} {'MEAN':>9} {'P95':>9} {'SHARE':>7}",
+    ]
+    for r in rows:
+        bar = "#" * int(round(20 * min(1.0, r["share"])))
+        lines.append(
+            f"{r['stage']:<24} {r['n']:>8} {_fmt_us(r['mean_s']):>9} "
+            f"{_fmt_us(r['p95_s']):>9} {100 * r['share']:>6.1f}% {bar}"
+        )
+    return "\n".join(lines)

@@ -2,9 +2,27 @@
 
 from __future__ import annotations
 
+from repro.obs.profile import register_thread
 from repro.replication import LivenessPolicy
 
-__all__ = ["resolve_liveness"]
+__all__ = ["MONITOR_ROLE", "register_monitor_thread", "resolve_liveness"]
+
+#: The stable profiler role for the liveness plane's monitor thread —
+#: shared by every backend so folded stacks from threaded and multiproc
+#: runs aggregate under one name.
+MONITOR_ROLE = "liveness-monitor"
+
+
+def register_monitor_thread(qualifier: str = "") -> None:
+    """Register the calling monitor thread under :data:`MONITOR_ROLE`.
+
+    *qualifier* is the owning group's shard name, when sharded, so each
+    shard's monitor is distinguishable in a merged profile.  Imported
+    lazily by :mod:`repro.replication.group` (this module already imports
+    replication the other way around).
+    """
+    role = f"{qualifier}/{MONITOR_ROLE}" if qualifier else MONITOR_ROLE
+    register_thread(role)
 
 
 def resolve_liveness(

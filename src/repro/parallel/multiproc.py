@@ -165,6 +165,24 @@ class MultiprocessRuntime(BaseRuntime):
     def introspection_snapshot(self) -> dict:
         return self.sharded.introspection_snapshot(type(self).__name__)
 
+    def start_profiling(self, hz: float | None = None) -> None:
+        """Begin continuous sampling of the runtime (opt-in).
+
+        The parent-process sampler covers the sequencers, read flushers
+        and monitors; each replica *process* additionally runs its own
+        sampler, started over the in-band query lane, whose folded stacks
+        ride back with :meth:`stop_profiling` — incarnation-fenced, so a
+        replica SIGKILLed mid-profile just drops out of the merge.  See
+        :mod:`repro.obs.profile`.
+        """
+        from repro.obs.profile import DEFAULT_HZ
+
+        self.sharded.start_profiling(DEFAULT_HZ if hz is None else hz)
+
+    def stop_profiling(self) -> dict[str, int]:
+        """Stop sampling everywhere; return the cross-process merge."""
+        return self.sharded.stop_profiling()
+
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #

@@ -157,5 +157,20 @@ class ThreadedReplicaRuntime(BaseRuntime):
     def introspection_snapshot(self) -> dict:
         return self.sharded.introspection_snapshot(type(self).__name__)
 
+    def start_profiling(self, hz: float | None = None) -> None:
+        """Begin continuous sampling of the runtime's threads (opt-in).
+
+        One in-process sampler sees every registered role — sequencers,
+        replica apply threads, read flushers, liveness monitors — plus
+        client threads by name.  See :mod:`repro.obs.profile`.
+        """
+        from repro.obs.profile import DEFAULT_HZ
+
+        self.sharded.start_profiling(DEFAULT_HZ if hz is None else hz)
+
+    def stop_profiling(self) -> dict[str, int]:
+        """Stop sampling; return folded stacks (``role;frame;... -> n``)."""
+        return self.sharded.stop_profiling()
+
     def shutdown(self) -> None:
         self.sharded.shutdown()

@@ -50,7 +50,17 @@ One object owns everything the paper's ordered-update pipeline needs
   records ``submit_to_order`` / ``broadcast`` / ``e2e`` spans here and
   ingests the per-replica ``apply`` spans the workers emit, all under
   one trace.  With no recorder attached (the default) every emit site
-  is a single ``is not None`` check and commands carry ``trace_id=None``.
+  is a single ``is not None`` check and commands carry ``trace_id=None``;
+- **profiling & stage attribution** — :meth:`ReplicaGroup.start_profiling`
+  runs the :mod:`repro.obs.profile` sampler over this group's registered
+  threads (sequencer, read flusher, monitor, in-process replicas) and,
+  on per-process transports, drives per-replica samplers through the
+  in-band query lane; with :func:`repro.obs.stages.
+  enable_stage_attribution` set before construction, every batch carries
+  a broadcast stamp and replicas answer with per-batch STAGES emissions,
+  decomposing the e2e latency into broadcast / inbox / apply / reply
+  histograms (``linda_stage_*``).  Both are strictly opt-in: off, the
+  only residue is one boolean check per batch.
 """
 
 from __future__ import annotations
@@ -72,6 +82,13 @@ from repro.core.statemachine import (
     HostRecovered,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import (
+    DEFAULT_HZ,
+    SamplingProfiler,
+    merge_folded,
+    register_thread,
+)
+from repro.obs.stages import stages_enabled
 from repro.obs.tracing import FlightRecorder
 from repro.replication.transport import Transport
 
@@ -235,6 +252,28 @@ class ReplicaGroup:
         self._h_detect = self.metrics.histogram("detection_latency")
         self._g_live = self.metrics.gauge("live_replicas")
         self._g_live.set(self.n_replicas)
+        #: Backpressure gauges — *sampled* in metrics_snapshot(), never
+        #: maintained on the hot path, so they cost nothing per operation.
+        self._g_seq_depth = self.metrics.gauge("sequencer_inbox_depth")
+        self._g_read_depth = self.metrics.gauge("read_lane_depth")
+        self._g_apply_depth = self.metrics.gauge("replica_inbox_max_depth")
+        #: Stage attribution (opt-in, read once at construction): when on,
+        #: batches carry a broadcast stamp and replicas answer each with a
+        #: STAGES emission — see repro.obs.stages.  The histograms exist
+        #: only when enabled, so an off-path snapshot carries no empty
+        #: stage families.
+        self._stages = stages_enabled()
+        if self._stages:
+            self._h_stage_bcast = self.metrics.histogram("stage_broadcast")
+            self._h_stage_queue = self.metrics.histogram("stage_replica_queue")
+            self._h_stage_apply = self.metrics.histogram("stage_apply")
+            self._h_stage_reply = self.metrics.histogram("stage_reply")
+        #: The continuous-profiling plane (strictly opt-in): an in-process
+        #: sampler for this group's threads plus, on per-process-worker
+        #: transports, per-replica remote samplers driven over the in-band
+        #: query lane.
+        self._profiler: SamplingProfiler | None = None
+        self._remote_profiling = False
         #: Set when an internal thread (sequencer) died: the group can no
         #: longer order commands, and every call fails fast instead of
         #: hanging (read before registering, re-checked via the waiter
@@ -283,6 +322,10 @@ class ReplicaGroup:
         if self.name:
             return f"{self.name}/replica-{replica_id}"
         return f"replica-{replica_id}"
+
+    def _role(self, base: str) -> str:
+        """Profiler role of one of this group's threads, shard-qualified."""
+        return f"{self.name}/{base}" if self.name else base
 
     def call(
         self,
@@ -554,6 +597,7 @@ class ReplicaGroup:
         every parked client with :class:`RuntimeFailure` instead of
         leaving them to hang forever against a dead bus.
         """
+        register_thread(self._role("sequencer"))
         try:
             while True:
                 self._kick.wait()
@@ -614,6 +658,7 @@ class ReplicaGroup:
         is exactly the condition ``_send_read`` already checks), and any
         read stranded on the queue is rerouted through the total order.
         """
+        register_thread(self._role("read-flusher"))
         pending = self._read_pending
         try:
             while True:
@@ -655,7 +700,16 @@ class ReplicaGroup:
                 self._h_submit.record(now - w.t_submit)
         self._c_batches.inc()
         self._h_batch.record(len(batch))
-        info = self.transport.broadcast(("BATCH", cmds), self.alive)
+        if self._stages:
+            # the stamp rides inside the batch item (and through the
+            # pickled blob), so every replica can report how long the
+            # batch sat in its inbox; CLOCK_MONOTONIC is system-wide on
+            # Linux, making the stamp comparable across processes
+            t_bcast = time.monotonic()
+            info = self.transport.broadcast(("BATCH", cmds, t_bcast), self.alive)
+            self._h_stage_bcast.record(time.monotonic() - t_bcast)
+        else:
+            info = self.transport.broadcast(("BATCH", cmds), self.alive)
         tracer = self.tracer
         if tracer is not None:
             self._trace_batch(tracer, batch, now, info)
@@ -754,6 +808,15 @@ class ReplicaGroup:
                         trace_id=trace_id,
                         args={"slot": slot, "request_id": rid},
                     )
+        elif kind == "STAGES":
+            if self._stages:
+                _k, queue_s, apply_s, t_emit = item
+                self._h_stage_queue.record(queue_s)
+                self._h_stage_apply.record(apply_s)
+                # the reply stage: how long the replica's answer took to
+                # reach this collector — the same hop a completion takes
+                # to wake its client
+                self._h_stage_reply.record(time.monotonic() - t_emit)
         elif kind == "QUERY":
             _k, qid, answering_replica, answer = item
             with self._state_lock:
@@ -883,6 +946,10 @@ class ReplicaGroup:
         declared through the same path as a cooperative ``crash_replica``,
         so survivors see one ordered failure tuple at one slot.
         """
+        # lazy: parallel._liveness imports replication the other way round
+        from repro.parallel._liveness import register_monitor_thread
+
+        register_monitor_thread(self.name)
         policy = self.liveness
         assert policy is not None
         while not self._monitor_stop.wait(policy.probe_interval):
@@ -1084,7 +1151,79 @@ class ReplicaGroup:
         raise TimeoutError_("all replicas have crashed")
 
     def metrics_snapshot(self) -> dict[str, Any]:
+        # Backpressure gauges are *sampled* here, at snapshot time — the
+        # hot path never touches them.  Queue sizes are approximate by
+        # nature (qsize races the consumers); that is fine for a gauge.
+        with self._pending_lock:
+            self._g_seq_depth.set(len(self._pending))
+        self._g_read_depth.set(len(self._read_pending))
+        depth = getattr(self.transport, "depth", None)
+        if depth is not None:
+            self._g_apply_depth.set(
+                max((depth(i) for i in self.live_replicas()), default=0)
+            )
         return self.metrics.snapshot()
+
+    # ------------------------------------------------------------------ #
+    # continuous profiling
+    # ------------------------------------------------------------------ #
+
+    def start_profiling(
+        self, hz: float = DEFAULT_HZ, *, local_sampler: bool = True
+    ) -> None:
+        """Begin sampling this group's threads (and replica processes).
+
+        On per-process-worker transports each live replica starts its own
+        sampler, driven by an in-band ``profile_start`` query; on
+        in-process transports the local sampler already sees the replica
+        threads.  ``local_sampler=False`` lets a :class:`ShardedGroup`
+        run ONE process-wide sampler itself instead of one per shard.
+        Idempotent; strictly opt-in — until called, nothing samples.
+        """
+        if getattr(self.transport, "per_process_workers", False):
+            self._remote_profiling = True
+            for i in self.live_replicas():
+                try:
+                    self.query(i, "profile_start", hz)
+                except TimeoutError_:
+                    if self.alive[i]:
+                        raise  # crashed mid-query: its sampler dies with it
+        if local_sampler and self._profiler is None:
+            self._profiler = SamplingProfiler(hz=hz).start()
+
+    def stop_profiling(self) -> dict[str, int]:
+        """Stop sampling; return the merged folded stacks.
+
+        Remote stacks come back over the incarnation-fenced query lane:
+        a replica killed mid-sampling simply contributes nothing (the
+        query fails fast on its crash sentinel), and a reincarnated slot
+        starts with a fresh sampler — stale stacks can never pollute the
+        merge.  When this group is a shard, remote roles are prefixed
+        with the shard name so profiles merged across shards stay
+        attributable.
+        """
+        folded: dict[str, int] = {}
+        prof = self._profiler
+        self._profiler = None
+        if prof is not None:
+            folded = prof.stop()
+        if self._remote_profiling:
+            self._remote_profiling = False
+            for i in self.live_replicas():
+                try:
+                    remote = self.query(i, "profile_stop")
+                except TimeoutError_:
+                    if self.alive[i]:
+                        raise
+                    continue  # crashed while sampling: keep the survivors
+                if isinstance(remote, dict) and remote:
+                    if self.name:
+                        remote = {
+                            f"{self.name}/{stack}": n
+                            for stack, n in remote.items()
+                        }
+                    folded = merge_folded(folded, remote)
+        return folded
 
     def introspection_snapshot(self, backend: str = "ReplicaGroup") -> dict[str, Any]:
         """Merged live-state image: one replica's SM view + group health.
@@ -1134,6 +1273,11 @@ class ReplicaGroup:
         if self._stopped:
             return
         self._stopped = True
+        if self._profiler is not None:
+            # local only: the replica processes are about to be stopped,
+            # and querying them for stacks during teardown could stall
+            self._profiler.stop()
+            self._profiler = None
         if self._monitor_thread is not None:
             self._monitor_stop.set()
             self._monitor_thread.join(timeout=5.0)

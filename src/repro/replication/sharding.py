@@ -77,6 +77,7 @@ from repro.core.statemachine import (
     TSStateMachine,
 )
 from repro.obs.metrics import MetricsRegistry, merged
+from repro.obs.profile import DEFAULT_HZ, SamplingProfiler, merge_folded
 from repro.obs.tracing import FlightRecorder
 from repro.replication.group import CLIENT_ORIGIN, LivenessPolicy, ReplicaGroup
 from repro.replication.transport import Transport
@@ -138,6 +139,8 @@ class ShardedGroup:
         #: the full space list for dynamic-space statements).  Guarded by
         #: _space_lock.
         self._spaces: dict[int, TSHandle] = {}
+        #: The façade's own process-wide sampler (see start_profiling).
+        self._profiler: SamplingProfiler | None = None
         from repro.core.spaces import MAIN_TS
 
         self._spaces[MAIN_TS.id] = MAIN_TS
@@ -476,9 +479,41 @@ class ShardedGroup:
         """Merged instruments, plus per-shard sub-snapshots when sharded."""
         if self.n_shards == 1:
             return self.groups[0].metrics_snapshot()
+        # each group's snapshot refreshes its own backpressure gauges
+        # before the merged view is assembled
+        per_shard = {g.name: g.metrics_snapshot() for g in self.groups}
         snap = merged([g.metrics for g in self.groups]).snapshot()
-        snap["shards"] = {g.name: g.metrics.snapshot() for g in self.groups}
+        snap["shards"] = per_shard
         return snap
+
+    # ------------------------------------------------------------------ #
+    # continuous profiling
+    # ------------------------------------------------------------------ #
+
+    def start_profiling(self, hz: float = DEFAULT_HZ) -> None:
+        """Sample every shard's threads (and replica processes) at *hz*.
+
+        One process-wide local sampler covers all shards' in-process
+        threads — their roles are already shard-qualified
+        ("shard0/sequencer", …) — while each shard group independently
+        drives its replica-process samplers, so a shard losing a replica
+        mid-profile affects only its own remote stacks.
+        """
+        if self._profiler is None:
+            self._profiler = SamplingProfiler(hz=hz).start()
+        for group in self.groups:
+            group.start_profiling(hz, local_sampler=False)
+
+    def stop_profiling(self) -> dict[str, int]:
+        """Stop sampling; return folded stacks merged across all shards."""
+        folded: dict[str, int] = {}
+        prof = self._profiler
+        self._profiler = None
+        if prof is not None:
+            folded = prof.stop()
+        for group in self.groups:
+            folded = merge_folded(folded, group.stop_profiling())
+        return folded
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -567,5 +602,8 @@ class ShardedGroup:
     # ------------------------------------------------------------------ #
 
     def shutdown(self) -> None:
+        if self._profiler is not None:
+            self._profiler.stop()
+            self._profiler = None
         for group in self.groups:
             group.shutdown()

@@ -47,6 +47,12 @@ class Transport(Protocol):
     n_replicas: int
     #: True when restart_replica / SNAPSHOT / INSTALL round-trips work.
     supports_recovery: bool
+    #: True when replica workers run in their own OS processes — the
+    #: profiler then starts a per-process sampler in each worker via the
+    #: in-band query lane instead of relying on one in-process sampler
+    #: seeing every thread.  Read with getattr(..., False) so third-party
+    #: transports that predate the flag default to in-process sampling.
+    per_process_workers: bool
 
     def start(self, sink: Sink) -> None:
         """Launch the replica workers; deliver their emissions to *sink*."""
@@ -86,6 +92,16 @@ class Transport(Protocol):
         """
         ...
 
+    def depth(self, replica_id: int) -> int:
+        """Best-effort count of items queued on one replica's FIFO.
+
+        A backpressure gauge, sampled only when a metrics snapshot is
+        taken — never on the hot path.  Queue sizes are approximate by
+        nature (``qsize`` races with the consumer); 0 for transports
+        that cannot say.
+        """
+        ...
+
     def shutdown(self, alive: Sequence[bool]) -> None:
         """Stop all workers and reap transport resources."""
         ...
@@ -101,6 +117,7 @@ class InMemoryTransport:
     """
 
     supports_recovery = True
+    per_process_workers = False
 
     def __init__(self, n_replicas: int):
         if n_replicas < 1:
@@ -177,6 +194,12 @@ class InMemoryTransport:
             and not self._halted[replica_id].is_set()
         )
 
+    def depth(self, replica_id: int) -> int:
+        try:
+            return self._fifos[replica_id].qsize()
+        except Exception:
+            return 0
+
     def shutdown(self, alive: Sequence[bool]) -> None:
         for i in range(self.n_replicas):
             self.stop_replica(i)
@@ -202,6 +225,7 @@ class PickleQueueTransport:
     """
 
     supports_recovery = True
+    per_process_workers = True
 
     def __init__(self, n_replicas: int, *, start_method: str = "spawn"):
         if n_replicas < 1:
@@ -319,6 +343,14 @@ class PickleQueueTransport:
         if not self.processes:
             return True  # not started yet: nothing to suspect
         return bool(self.processes[replica_id].is_alive())
+
+    def depth(self, replica_id: int) -> int:
+        # mp.Queue.qsize raises NotImplementedError on some platforms
+        # (macOS); treat any failure as "cannot say"
+        try:
+            return self.cmd_queues[replica_id].qsize()
+        except Exception:
+            return 0
 
     def shutdown(self, alive: Sequence[bool]) -> None:
         if not self._running:

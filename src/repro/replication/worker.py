@@ -7,12 +7,25 @@ cross a pickling boundary unchanged:
 
 received                              meaning
 ------------------------------------  ------------------------------------
-``("BATCH", [cmd, ...])``             apply each command, in order
+``("BATCH", [cmd, ...])``             apply each command, in order; with
+                                      stage attribution on, the sequencer
+                                      appends its broadcast stamp —
+                                      ``("BATCH", cmds, t_send)`` — and
+                                      the replica answers with a STAGES
+                                      emission (below)
 ``("BLOB", bytes)``                   a pickled BATCH, marshalled once by
                                       the sequencer and shared by every
                                       replica (the batching optimization)
 ``("QUERY", qid, what, arg)``         in-band state query; answered after
-                                      everything sequenced before it
+                                      everything sequenced before it.
+                                      ``profile_start``/``profile_stop``
+                                      drive this process's sampling
+                                      profiler: the answers (and the
+                                      folded stacks) ride the same
+                                      incarnation-fenced feedback lane as
+                                      completions, so a replica killed
+                                      mid-sampling cannot pollute the
+                                      merged profile
 ``("READS", [(floor, cmd), ...])``    read fast path: evaluate each
                                       read-only ExecuteAGS on local state
                                       once ``applied >= floor`` (parked
@@ -50,6 +63,12 @@ emitted
                                       count, its coordinate in the total
                                       order (the consistency checker's
                                       input)
+``("STAGES", queue_s, apply_s,        stage-attribution answer for one
+  t_emit)``                           stamped batch: time it sat in this
+                                      replica's inbox, mean apply time per
+                                      command, and the emit stamp (the
+                                      group turns ``now - t_emit`` into
+                                      the wake/reply stage)
 
 In-band queries are the replacement for any separate quiescing protocol:
 because they travel on the same FIFO as commands, the answer reflects
@@ -64,6 +83,11 @@ from typing import Any, Callable
 
 from repro._errors import CommandFailed
 from repro.core.statemachine import Completion, TSStateMachine
+from repro.obs.profile import (
+    process_profile_start,
+    process_profile_stop,
+    register_thread,
+)
 
 __all__ = ["replica_loop", "run_replica_process"]
 
@@ -107,6 +131,7 @@ def replica_loop(
     FIFO on the floor — the fail-stop behaviour the threaded backend's
     crash tests rely on.
     """
+    register_thread(f"replica-{replica_id}")
     sm = TSStateMachine()
     applied = 0
     stopped = halted if halted is not None else (lambda: False)
@@ -146,6 +171,12 @@ def replica_loop(
             item = pickle.loads(item[1])
             kind = item[0]
         if kind == "BATCH":
+            # A third element is the sequencer's broadcast stamp: stage
+            # attribution is on and this batch owes a STAGES answer.  The
+            # stamp is CLOCK_MONOTONIC — system-wide on Linux, so it
+            # subtracts cleanly even across the process boundary.
+            t_send = item[2] if len(item) > 2 else None
+            t_dequeue = time.monotonic() if t_send is not None else 0.0
             spans: list[tuple] | None = None
             # Completions for the whole batch travel as one COMPS item:
             # with process transports every emitted item is a pickled queue
@@ -177,6 +208,14 @@ def replica_loop(
                 emit(("COMPS", comps))
             if spans is not None:
                 emit(("SPANS", spans))
+            if t_send is not None:
+                now = time.monotonic()
+                emit(
+                    ("STAGES",
+                     t_dequeue - t_send,
+                     (now - t_dequeue) / max(1, len(item[1])),
+                     now)
+                )
             drain_reads()
         elif kind == "READS":
             ready = [r for r in item[1] if r[0] <= applied]
@@ -200,6 +239,10 @@ def replica_loop(
                 answer = len(sm.blocked)
             elif what == "introspect":
                 answer = sm.introspection()
+            elif what == "profile_start":
+                answer = process_profile_start(arg)
+            elif what == "profile_stop":
+                answer = process_profile_stop()
             else:
                 answer = None
             emit(("QUERY", qid, replica_id, answer))
