@@ -97,6 +97,12 @@ class ChaosMonkey:
 
     def _note(self, action: str, *args: Any) -> None:
         self.log.append((time.monotonic() - self._t0, action, args))
+        # chaos actions share the telemetry plane's event timeline, so a
+        # postmortem reads injections and detections in one stream
+        from repro.obs.events import emit
+
+        emit("chaos_" + action, severity="warning",
+             args=[repr(a) for a in args])
 
     def _resolve_shard(
         self, runtime: Any, shard: int | str | None

@@ -535,7 +535,16 @@ def _top_main(argv: list[str]) -> int:
         metavar="PATH",
         help="use a write-ahead-logged runtime at PATH (local backend only)",
     )
+    parser.add_argument(
+        "--url",
+        metavar="URL",
+        help="render the dashboard from a remote /snapshot endpoint "
+        "(e.g. http://host:port) instead of an in-process runtime",
+    )
     opts = parser.parse_args(argv)
+
+    if opts.url:
+        return _remote_top(opts)
 
     enable_introspection()  # must precede runtime construction
     if opts.wal:
@@ -574,12 +583,23 @@ def _top_main(argv: list[str]) -> int:
                     target=churn_forever, args=(c,),
                     name=f"churn-{c}", daemon=True,
                 ).start()
+        from repro.obs.slo import AlertEngine, default_rules
+
+        engine = AlertEngine(
+            rules=default_rules(), metrics=getattr(rt, "metrics", None)
+        )
         frames = 1 if opts.once else opts.iterations
         n = 0
         while True:
             snap = rt.introspection_snapshot()
             stalls = detect_stalls(snap, opts.stall_threshold)
             metrics = rt.metrics_snapshot()
+            ctx = {"introspection": snap, "metrics": metrics, "stalls": stalls}
+            if opts.once:
+                # a single frame gives hysteresis only one shot — prime it
+                # so a stalled/wedged state is visible in the one render
+                engine.evaluate(ctx)
+            alerts = engine.evaluate(ctx)
             if opts.json:
                 import json
 
@@ -591,6 +611,7 @@ def _top_main(argv: list[str]) -> int:
                             "introspection": snap,
                             "metrics": metrics,
                             "stalls": stalls,
+                            "alerts": alerts,
                             "stage_budget": stage_budget(metrics),
                         }
                     ),
@@ -598,14 +619,14 @@ def _top_main(argv: list[str]) -> int:
                     sort_keys=True,
                 ))
             else:
-                frame = render_top(snap, metrics, stalls)
+                frame = render_top(snap, metrics, stalls, alerts)
                 if not opts.once:
                     sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
                 print(frame)
             sys.stdout.flush()
             if opts.export:
                 with open(opts.export, "w") as f:
-                    f.write(to_prometheus(snap, metrics, stalls))
+                    f.write(to_prometheus(snap, metrics, stalls, alerts))
             n += 1
             if frames and n >= frames:
                 break
@@ -616,6 +637,200 @@ def _top_main(argv: list[str]) -> int:
     finally:
         stop.set()
         _shutdown(rt)
+    return 0
+
+
+def _remote_top(opts: argparse.Namespace) -> int:
+    """``top --url``: render the dashboard from a remote /snapshot feed.
+
+    The endpoint already ran stall detection and alert evaluation
+    server-side (they need the live runtime), so remote frames are pure
+    rendering — any machine with HTTP reach can watch a tuple space.
+    """
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.inspect import render_top
+
+    base = opts.url.rstrip("/")
+    frames = 1 if opts.once else opts.iterations
+    n = 0
+    while True:
+        try:
+            with urllib.request.urlopen(base + "/snapshot", timeout=10) as r:
+                payload = json.loads(r.read())
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"cannot reach {base}/snapshot: {exc}", file=sys.stderr)
+            return 1
+        if opts.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            frame = render_top(
+                payload.get("introspection", {}),
+                payload.get("metrics"),
+                payload.get("stalls"),
+                payload.get("alerts"),
+            )
+            if not opts.once:
+                sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+            print(f"[remote {base}]")
+            print(frame)
+        sys.stdout.flush()
+        n += 1
+        if frames and n >= frames:
+            return 0
+        try:
+            time.sleep(opts.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _serve_main(argv: list[str]) -> int:
+    """``python -m repro.cli serve``: run a runtime with the HTTP endpoint.
+
+    Default mode drives continuous churn and serves until interrupted —
+    an observable tuple space to curl at.  ``--smoke`` instead asserts
+    the endpoint contract (metric families present, health flips to 503
+    on an unrecovered replica kill) and exits — the CI gate.
+    """
+    import json
+    import threading
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.inspect import enable_introspection
+
+    parser = _workload_parser(
+        "ftlsh serve",
+        "serve /metrics /health /snapshot /events /debug/trace "
+        "/debug/profile over HTTP for a live runtime",
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="port to bind (default 0 = ephemeral; the URL is printed)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--stall-threshold", type=float, default=5.0,
+        help="stall-detector threshold used by /metrics and the alert rules",
+    )
+    parser.add_argument(
+        "--events-out", metavar="PATH",
+        help="also append every structured event to PATH as NDJSON",
+    )
+    parser.add_argument(
+        "--no-churn", action="store_true",
+        help="serve an idle runtime (default: background churn keeps the "
+        "windowed metrics moving)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="self-check the endpoint (families present, 200→503 health "
+        "flip on replica kill) and exit",
+    )
+    opts = parser.parse_args(argv)
+    if opts.backend == "local":
+        parser.error("serve needs a parallel backend (--backend threaded|multiproc)")
+
+    if opts.events_out:
+        from repro.obs.events import get_log
+
+        get_log().attach_sink(opts.events_out)
+    enable_introspection()
+    from repro.obs.tracing import FlightRecorder
+
+    rt = _build_runtime(opts, tracer=FlightRecorder())
+    stop = threading.Event()
+    try:
+        _run_churn(rt, opts.clients, opts.ops)
+        server = rt.serve_telemetry(
+            opts.port, host=opts.host, stall_threshold=opts.stall_threshold
+        )
+        print(f"telemetry at {server.url}  (GET /metrics /health /snapshot "
+              f"/events /debug/trace /debug/profile)")
+        sys.stdout.flush()
+        if opts.smoke:
+            return _serve_smoke(rt, server.url)
+
+        def churn_forever(client: int) -> None:
+            k = 0
+            while not stop.is_set():
+                rt.out(rt.main_ts, "serve-op", client, k)
+                rt.in_(rt.main_ts, "serve-op", client, k)
+                k += 1
+
+        if not opts.no_churn:
+            for c in range(opts.clients):
+                threading.Thread(
+                    target=churn_forever, args=(c,),
+                    name=f"churn-{c}", daemon=True,
+                ).start()
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            return 0
+    finally:
+        stop.set()
+        _shutdown(rt)
+
+
+def _serve_smoke(rt: Any, base: str) -> int:
+    """Assert the endpoint contract against a just-started server."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    def get(path: str) -> tuple[int, bytes]:
+        try:
+            with urllib.request.urlopen(base + path, timeout=10) as r:
+                return r.status, r.read()
+        except urllib.error.HTTPError as e:
+            return e.code, e.read()
+
+    failures: list[str] = []
+
+    def check(ok: bool, what: str) -> None:
+        print(("ok  " if ok else "FAIL") + f" {what}")
+        if not ok:
+            failures.append(what)
+
+    status, body = get("/metrics")
+    check(status == 200, "/metrics returns 200")
+    for family in (
+        "linda_ags_e2e_seconds", "linda_commands_submitted_total",
+        "linda_window_latency_seconds", "linda_replica_alive",
+        "linda_alert_state",
+    ):
+        check(family.encode() in body, f"/metrics exposes {family}")
+    status, body = get("/health")
+    check(
+        status == 200 and json.loads(body)["healthy"],
+        "/health is 200 before the kill",
+    )
+    status, body = get("/snapshot")
+    check(status == 200, "/snapshot returns 200")
+    snap = json.loads(body)
+    check("metrics" in snap and "alerts" in snap, "/snapshot carries metrics+alerts")
+    status, body = get("/events")
+    check(status == 200, "/events returns 200")
+    status, _body = get("/debug/trace")
+    check(status == 200, "/debug/trace returns 200")
+
+    rt.crash_replica(1)
+    status, body = get("/health")
+    check(status == 503, "/health flips to 503 on an unrecovered kill")
+    check(not json.loads(body)["problems"] == [], "/health names the problem")
+    status, body = get("/events")
+    kinds = [e["kind"] for e in json.loads(body)["events"]]
+    check("replica_dead" in kinds, "/events records the replica death")
+    if failures:
+        print(f"{len(failures)} telemetry smoke check(s) failed")
+        return 1
+    print("telemetry smoke passed")
     return 0
 
 
@@ -847,7 +1062,10 @@ def _profile_main(argv: list[str]) -> int:
 
 
 #: The benchmarks `bench run` knows how to drive, in dependency-free order.
-BENCHMARKS = ("batching", "reads", "sharding", "failover", "tracing", "profile")
+BENCHMARKS = (
+    "batching", "reads", "sharding", "failover", "tracing", "profile",
+    "telemetry",
+)
 
 
 def _benchmarks_dir() -> str:
@@ -1028,6 +1246,8 @@ def main(argv: list[str] | None = None) -> int:
         return _trace_main(argv[1:])
     if argv and argv[0] == "top":
         return _top_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     if argv and argv[0] == "chaos":
         return _chaos_main(argv[1:])
     if argv and argv[0] == "profile":

@@ -99,6 +99,7 @@ class BaseRuntime(abc.ABC):
     def __init__(self) -> None:
         self._proc_ids = itertools.count(1)
         self._procs: list["ProcessHandle"] = []
+        self._telemetry = None  # TelemetryServer once serve_telemetry runs
 
     # ------------------------------------------------------------------ #
     # abstract transport
@@ -175,6 +176,28 @@ class BaseRuntime(abc.ABC):
         from repro.obs.inspect import empty_snapshot
 
         return empty_snapshot(type(self).__name__)
+
+    def serve_telemetry(self, port: int = 0, **kwargs: Any):
+        """Expose this runtime's observability plane over HTTP.
+
+        Starts (or returns the already-running) :class:`~repro.obs.
+        server.TelemetryServer` bound to this runtime — ``/metrics``,
+        ``/health``, ``/snapshot``, ``/events``, ``/debug/trace``,
+        ``/debug/profile``.  ``port=0`` binds an ephemeral port; read it
+        back from the returned server's ``.port``/``.url``.  The server
+        is closed automatically by the backends' ``shutdown``.
+        """
+        if self._telemetry is None:
+            from repro.obs.server import serve_telemetry
+
+            self._telemetry = serve_telemetry(self, port, **kwargs)
+        return self._telemetry
+
+    def _close_telemetry(self) -> None:
+        """Stop the HTTP endpoint if one is running (idempotent)."""
+        server, self._telemetry = self._telemetry, None
+        if server is not None:
+            server.close()
 
     # ------------------------------------------------------------------ #
     # the Linda operations (single-op AGS sugar)

@@ -11,9 +11,17 @@ checker built on top of the recorded apply streams
 (:mod:`repro.obs.check`), and the live state-introspection layer — waiter
 registry, hot-template profiler, stall detector, Prometheus exporter —
 behind ``python -m repro.cli top`` (:mod:`repro.obs.inspect`).
+
+PR 8 grows the package into a *networked telemetry plane*: sliding
+time-window aggregation (:mod:`repro.obs.window`), a declarative SLO
+alert engine (:mod:`repro.obs.slo`), a structured event log
+(:mod:`repro.obs.events`), and the HTTP endpoint that serves all of it
+(:mod:`repro.obs.server` — ``rt.serve_telemetry()``).
 """
 
 from repro.obs.check import ConsistencyReport, check_consistency
+from repro.obs.envflags import EnvFlag, telemetry_port
+from repro.obs.events import EventLog, emit, get_log
 from repro.obs.inspect import (
     detect_stalls,
     disable_introspection,
@@ -23,6 +31,9 @@ from repro.obs.inspect import (
     to_prometheus,
 )
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry, format_snapshot
+from repro.obs.server import TelemetryServer, serve_telemetry
+from repro.obs.slo import AlertEngine, AlertRule, default_rules
+from repro.obs.window import SlidingHistogram, SlidingRate, WindowRegistry
 from repro.obs.profile import (
     SamplingProfiler,
     merge_folded,
@@ -40,28 +51,41 @@ from repro.obs.stages import (
 from repro.obs.tracing import FlightRecorder, SpanEvent, render_events, to_chrome_trace
 
 __all__ = [
+    "AlertEngine",
+    "AlertRule",
     "ConsistencyReport",
     "Counter",
+    "EnvFlag",
+    "EventLog",
     "FlightRecorder",
     "Histogram",
     "MetricsRegistry",
     "SamplingProfiler",
+    "SlidingHistogram",
+    "SlidingRate",
     "SpanEvent",
+    "TelemetryServer",
+    "WindowRegistry",
     "check_consistency",
+    "default_rules",
     "detect_stalls",
     "disable_introspection",
     "disable_stage_attribution",
+    "emit",
     "enable_introspection",
     "enable_stage_attribution",
     "format_snapshot",
+    "get_log",
     "introspection_enabled",
     "merge_folded",
     "register_thread",
     "render_budget",
     "render_events",
     "render_top",
+    "serve_telemetry",
     "stage_budget",
     "stages_enabled",
+    "telemetry_port",
     "to_chrome_trace",
     "to_collapsed",
     "to_prometheus",

@@ -42,10 +42,11 @@ without clock-domain conversions.
 
 from __future__ import annotations
 
-import os
 from typing import Any, Mapping
 
 from repro.core import matching as _matching
+
+from .envflags import EnvFlag
 
 __all__ = [
     "detect_stalls",
@@ -57,7 +58,7 @@ __all__ = [
     "to_prometheus",
 ]
 
-_ENV_FLAG = "REPRO_INTROSPECT"
+_FLAG = EnvFlag("REPRO_INTROSPECT")
 
 
 def enable_introspection() -> None:
@@ -68,13 +69,13 @@ def enable_introspection() -> None:
     environment so replica processes spawned later inherit the setting.
     """
     _matching.STATS_ENABLED = True
-    os.environ[_ENV_FLAG] = "1"
+    _FLAG.enable()
 
 
 def disable_introspection() -> None:
     """Revert :func:`enable_introspection` (existing stores keep counting)."""
     _matching.STATS_ENABLED = False
-    os.environ.pop(_ENV_FLAG, None)
+    _FLAG.disable()
 
 
 def introspection_enabled() -> bool:
@@ -206,6 +207,61 @@ def _histogram_lines(name: str, snap: Mapping[str, Any]) -> list[str]:
     lines.append(f'{base}_bucket{{le="+Inf"}} {cum + overflow}')
     lines.append(f"{base}_sum {snap.get('sum', 0.0):.9g}")
     lines.append(f"{base}_count {snap.get('count', 0)}")
+    # resolved quantiles as a companion gauge family — a Prometheus
+    # histogram type carries no quantile samples, and scrapers without
+    # histogram_quantile() (and humans with curl) want the numbers direct
+    quantiles = [
+        (q, snap.get(key))
+        for q, key in (
+            ("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99"), ("0.999", "p999")
+        )
+        if snap.get(key) is not None
+    ]
+    if quantiles:
+        lines.append(f"# HELP {base}_quantile resolved {name} quantiles")
+        lines.append(f"# TYPE {base}_quantile gauge")
+        for q, value in quantiles:
+            lines.append(f'{base}_quantile{{quantile="{q}"}} {value:.9g}')
+    return lines
+
+
+def _window_lines(windows: Mapping[str, Any]) -> list[str]:
+    """Sliding-window quantiles and rates as labelled gauge families."""
+    lines: list[str] = []
+    whists = windows.get("histograms", {})
+    if whists:
+        lines.append(
+            "# HELP linda_window_latency_seconds "
+            "windowed latency quantiles (trailing windows)"
+        )
+        lines.append("# TYPE linda_window_latency_seconds gauge")
+        for name, per_window in whists.items():
+            for label, w in per_window.items():
+                for q, key in (
+                    ("0.5", "p50"), ("0.99", "p99"), ("0.999", "p999")
+                ):
+                    lines.append(
+                        f"linda_window_latency_seconds"
+                        f"{_labels(metric=name, window=label, quantile=q)} "
+                        f"{w[key]:.9g}"
+                    )
+    rate_sources: list[tuple[str, str, float]] = []
+    for name, per_window in whists.items():
+        for label, w in per_window.items():
+            rate_sources.append((name, label, w["rate"]))
+    for name, per_window in windows.get("rates", {}).items():
+        for label, w in per_window.items():
+            rate_sources.append((name, label, w["rate"]))
+    if rate_sources:
+        lines.append(
+            "# HELP linda_window_rate per-second op rate (trailing windows)"
+        )
+        lines.append("# TYPE linda_window_rate gauge")
+        for name, label, rate in rate_sources:
+            lines.append(
+                f"linda_window_rate{_labels(metric=name, window=label)} "
+                f"{rate:.9g}"
+            )
     return lines
 
 
@@ -213,12 +269,15 @@ def to_prometheus(
     snapshot: Mapping[str, Any],
     metrics: Mapping[str, Any] | None = None,
     stalls: list[dict[str, Any]] | None = None,
+    alerts: list[dict[str, Any]] | None = None,
 ) -> str:
     """Render an introspection snapshot in Prometheus text format.
 
     *metrics* is an optional :meth:`~repro.obs.metrics.MetricsRegistry.
     snapshot` merged in as counter/histogram families; *stalls* an
-    optional :func:`detect_stalls` result exported as a gauge.
+    optional :func:`detect_stalls` result exported as a gauge; *alerts*
+    an optional :meth:`~repro.obs.slo.AlertEngine.snapshot` exported as
+    per-rule state gauges plus the firing total.
     """
     sm = snapshot.get("sm", {})
     lines: list[str] = []
@@ -347,6 +406,23 @@ def to_prometheus(
             # stage histograms export as linda_stage_*_seconds — the
             # Prometheus side of the per-AGS pipeline budget
             lines.extend(_histogram_lines(name, h))
+        windows = metrics.get("windows")
+        if windows:
+            lines.extend(_window_lines(windows))
+
+    if alerts is not None:
+        firing = [a for a in alerts if a.get("firing")]
+        # only synthesize the total when the engine's own gauge is not
+        # already in the metrics snapshot (avoid a duplicate family)
+        if not (metrics and "alerts_firing" in metrics.get("gauges", {})):
+            family("alerts_firing", "gauge", "alert rules currently firing")
+            lines.append(f"linda_alerts_firing {len(firing)}")
+        family("alert_state", "gauge", "1 when the alert rule is firing")
+        for a in alerts:
+            label = _labels(rule=a["rule"], severity=a["severity"])
+            lines.append(
+                f"linda_alert_state{label} {1 if a.get('firing') else 0}"
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -377,6 +453,7 @@ def render_top(
     snapshot: Mapping[str, Any],
     metrics: Mapping[str, Any] | None = None,
     stalls: list[dict[str, Any]] | None = None,
+    alerts: list[dict[str, Any]] | None = None,
     *,
     max_rows: int = 10,
 ) -> str:
@@ -384,6 +461,7 @@ def render_top(
     sm = snapshot.get("sm", {})
     waiters = sm.get("waiters", [])
     stalled_ids = {s["request_id"] for s in (stalls or [])}
+    firing = [a for a in (alerts or []) if a.get("firing")]
     lines: list[str] = []
     head = (
         f"linda top — backend={snapshot.get('backend', '?')}  "
@@ -393,7 +471,18 @@ def render_top(
     )
     if snapshot.get("wal_bytes") is not None:
         head += f"  wal={_fmt_bytes(snapshot['wal_bytes'])}"
+    if alerts is not None:
+        head += f"  alerts={len(firing)}"
     lines.append(head)
+
+    if firing:
+        lines.append("")
+        lines.append(f"{'ALERT':<22} {'SEV':<9} {'FOR':>8}  DETAIL")
+        for a in firing[:max_rows]:
+            lines.append(
+                f"{a['rule']:<22} {a['severity']:<9} "
+                f"{_fmt_age(a.get('for', 0.0)):>8}  {a.get('detail', '')}"
+            )
 
     shard_rows = snapshot.get("shards", [])
     if shard_rows:
@@ -495,13 +584,37 @@ def render_top(
             lines.append("")
             lines.append(
                 f"{'LATENCY':<16} {'N':>8} {'MEAN':>10} {'P50':>10} "
-                f"{'P95':>10} {'P99':>10}"
+                f"{'P95':>10} {'P99':>10} {'P999':>10}"
             )
             for name, h in shown:
                 lines.append(
                     f"{name:<16} {h['count']:>8} {h['mean']:>10.6f} "
-                    f"{h['p50']:>10.6f} {h['p95']:>10.6f} {h['p99']:>10.6f}"
+                    f"{h['p50']:>10.6f} {h['p95']:>10.6f} {h['p99']:>10.6f} "
+                    f"{h.get('p999', h['p99']):>10.6f}"
                 )
+        # the "now" view: windowed quantiles/rates next to the cumulative
+        # table, so a load change shows up within one window
+        whists = (metrics.get("windows") or {}).get("histograms", {})
+        wshown = [
+            (name, per_window)
+            for name, per_window in sorted(whists.items())
+            if any(w["count"] for w in per_window.values())
+        ]
+        if wshown:
+            lines.append("")
+            lines.append(
+                f"{'WINDOWED':<16} {'WIN':>5} {'N':>8} {'RATE/S':>8} "
+                f"{'P50':>10} {'P99':>10} {'P999':>10}"
+            )
+            for name, per_window in wshown[:max_rows]:
+                for label, w in per_window.items():
+                    if not w["count"]:
+                        continue
+                    lines.append(
+                        f"{name:<16} {label:>5} {w['count']:>8} "
+                        f"{w['rate']:>8.1f} {w['p50']:>10.6f} "
+                        f"{w['p99']:>10.6f} {w['p999']:>10.6f}"
+                    )
         from repro.obs.stages import render_budget
 
         budget = render_budget(metrics)

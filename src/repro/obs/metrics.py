@@ -27,6 +27,8 @@ import threading
 from bisect import bisect_left
 from typing import Any
 
+from .window import WindowRegistry
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -226,6 +228,7 @@ class Histogram:
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
             "clamped": clamped,
             "buckets": buckets,
         }
@@ -244,6 +247,9 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        #: Sliding-window companions to the cumulative instruments —
+        #: same registry so merges and shard aggregation carry them too.
+        self.windows = WindowRegistry()
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -284,6 +290,7 @@ class MetricsRegistry:
                 n_buckets=len(h._bounds),
             )
             mine.merge(h)
+        self.windows.merge(other.windows)
 
     def snapshot(self) -> dict[str, Any]:
         """Plain-data image of every instrument (what tests/CLI consume)."""
@@ -295,6 +302,7 @@ class MetricsRegistry:
             "counters": {n: c.snapshot() for n, c in sorted(counters.items())},
             "gauges": {n: g.snapshot() for n, g in sorted(gauges.items())},
             "histograms": {n: h.snapshot() for n, h in sorted(histograms.items())},
+            "windows": self.windows.snapshot(),
         }
 
 
@@ -336,6 +344,19 @@ def format_snapshot(snap: dict[str, Any]) -> str:
             lines.append(
                 f"  {name:<24} n={h['count']} mean={h['mean']:.6f} "
                 f"p50={h['p50']:.6f} p95={h['p95']:.6f} p99={h['p99']:.6f} "
-                f"max={h['max']:.6f}"
+                f"p999={h.get('p999', h['p99']):.6f} max={h['max']:.6f}"
             )
+    windows = snap.get("windows") or {}
+    whists = windows.get("histograms", {})
+    if whists:
+        lines.append("windows:")
+        for name, per_window in whists.items():
+            for label, w in per_window.items():
+                if not w["count"]:
+                    continue
+                lines.append(
+                    f"  {name + '[' + label + ']':<24} n={w['count']} "
+                    f"rate={w['rate']:.1f}/s p50={w['p50']:.6f} "
+                    f"p99={w['p99']:.6f} p999={w['p999']:.6f}"
+                )
     return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -45,8 +45,9 @@ through the existing :func:`repro.obs.inspect.to_prometheus` path.
 
 from __future__ import annotations
 
-import os
 from typing import Any, Mapping
+
+from .envflags import EnvFlag
 
 __all__ = [
     "disable_stage_attribution",
@@ -56,8 +57,7 @@ __all__ = [
     "stages_enabled",
 ]
 
-_ENV_FLAG = "REPRO_STAGES"
-_ENABLED = False
+_FLAG = EnvFlag("REPRO_STAGES")
 
 #: The pipeline budget, in pipeline order: (display label, histogram name,
 #: per_command).  Batch-granularity stages still attribute per command —
@@ -78,21 +78,17 @@ def enable_stage_attribution() -> None:
     Exported through the environment so replica processes spawned later
     inherit the setting (the same mechanism as introspection).
     """
-    global _ENABLED
-    _ENABLED = True
-    os.environ[_ENV_FLAG] = "1"
+    _FLAG.enable()
 
 
 def disable_stage_attribution() -> None:
     """Revert :func:`enable_stage_attribution` for future runtimes."""
-    global _ENABLED
-    _ENABLED = False
-    os.environ.pop(_ENV_FLAG, None)
+    _FLAG.disable()
 
 
 def stages_enabled() -> bool:
     """Read once at group/worker start — True in-process or inherited."""
-    return _ENABLED or os.environ.get(_ENV_FLAG) == "1"
+    return _FLAG.enabled()
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,355 @@
+"""Sliding time-window aggregation: what the pipeline looks like *now*.
+
+Every :class:`~repro.obs.metrics.Histogram` is cumulative since process
+start — after ten minutes of traffic, ``cli top``'s p99 is the p99 of
+the whole run, and a latency regression that started thirty seconds ago
+is invisible under the accumulated mass.  Alerting (``repro.obs.slo``)
+and live dashboards need the *recent* distribution, so this module adds
+ring-of-buckets instruments that report over the trailing 10s / 60s /
+5m simultaneously:
+
+- :class:`SlidingHistogram` — a ring of per-second slices, each slice a
+  full geometric bucket array (the same bounds as the cumulative
+  :class:`~repro.obs.metrics.Histogram`, so windowed and cumulative
+  quantiles are directly comparable).  ``record`` touches exactly one
+  slice: find the current second's slot, reset it if it still holds an
+  expired second, bump one bucket — O(1), one lock, no per-window cost.
+  A window snapshot merges the slices stamped inside the window and
+  resolves p50/p95/p99/p999 the same way the cumulative histogram does.
+
+- :class:`SlidingRate` — the counter equivalent: a ring of per-second
+  counts, reported as ops/second over each window.
+
+- :class:`WindowRegistry` — named get-or-create over both, living
+  inside every :class:`~repro.obs.metrics.MetricsRegistry` so windowed
+  instruments merge, snapshot, and shard-aggregate exactly like the
+  cumulative ones.
+
+Clocks are injectable (default ``time.monotonic``) and the structures
+are defensive about them: a slice is only counted into a window when its
+stamp lies in ``(now - window, now]``, so a clock stepping far forward
+simply expires everything (the window really is empty of recent
+samples), and a slice stamped in the "future" after a backward step is
+ignored rather than double-counted.  Ring capacity is sized to the
+largest window; wraparound reuses slots second by second, which is what
+keeps a 5-minute window at 300 fixed slices regardless of load.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "WINDOWS",
+    "SlidingHistogram",
+    "SlidingRate",
+    "WindowRegistry",
+    "window_label",
+]
+
+#: The trailing windows every instrument reports, in seconds.
+WINDOWS: tuple[int, ...] = (10, 60, 300)
+
+
+def window_label(seconds: int) -> str:
+    """The snapshot key for a window length ("10s", "60s", "5m")."""
+    if seconds % 60 == 0 and seconds > 60:
+        return f"{seconds // 60}m"
+    return f"{seconds}s"
+
+
+def _default_bounds(lo: float = 1e-6, factor: float = 2.0, n: int = 30) -> list[float]:
+    bounds: list[float] = []
+    b = lo
+    for _ in range(n):
+        bounds.append(b)
+        b *= factor
+    return bounds
+
+
+class SlidingHistogram:
+    """Ring-of-buckets latency histogram over multiple trailing windows."""
+
+    __slots__ = (
+        "name", "windows", "_bounds", "_n_slices", "_stamps", "_counts",
+        "_sums", "_maxes", "_buckets", "_clock", "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        windows: Iterable[int] = WINDOWS,
+        lo: float = 1e-6,
+        factor: float = 2.0,
+        n_buckets: int = 30,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.name = name
+        self.windows = tuple(sorted(int(w) for w in windows))
+        if not self.windows or self.windows[0] < 1:
+            raise ValueError("windows must be positive second counts")
+        self._bounds = _default_bounds(lo, factor, n_buckets)
+        self._n_slices = self.windows[-1]
+        width = n_buckets + 1  # +1 = overflow
+        self._stamps = [-1] * self._n_slices  # epoch second held by the slot
+        self._counts = [0] * self._n_slices
+        self._sums = [0.0] * self._n_slices
+        self._maxes = [0.0] * self._n_slices
+        self._buckets = [[0] * width for _ in range(self._n_slices)]
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        if not (value >= 0.0):  # clamp NaN/negative like the cumulative hist
+            value = 0.0
+        sec = int(self._clock())
+        idx = sec % self._n_slices
+        bucket = bisect_left(self._bounds, value)
+        with self._lock:
+            if self._stamps[idx] != sec:
+                # the slot still holds a second that expired a full ring
+                # ago (or is untouched): recycle it for the current second
+                self._stamps[idx] = sec
+                self._counts[idx] = 0
+                self._sums[idx] = 0.0
+                self._maxes[idx] = 0.0
+                b = self._buckets[idx]
+                for i in range(len(b)):
+                    b[i] = 0
+            self._buckets[idx][bucket] += 1
+            self._counts[idx] += 1
+            self._sums[idx] += value
+            if value > self._maxes[idx]:
+                self._maxes[idx] = value
+
+    def _merged(self, window_s: int, now: float) -> tuple[list[int], int, float, float]:
+        """Fold live slices of the trailing *window_s* under the lock."""
+        lo = now - window_s
+        merged = [0] * (len(self._bounds) + 1)
+        count, total, vmax = 0, 0.0, 0.0
+        with self._lock:
+            for idx in range(self._n_slices):
+                stamp = self._stamps[idx]
+                # strictly (now - window, now]: future-stamped slices left
+                # behind by a backward clock step are not recent samples
+                if stamp < 0 or stamp <= lo - 1 or stamp > now:
+                    continue
+                b = self._buckets[idx]
+                for i, n in enumerate(b):
+                    merged[i] += n
+                count += self._counts[idx]
+                total += self._sums[idx]
+                if self._maxes[idx] > vmax:
+                    vmax = self._maxes[idx]
+        return merged, count, total, vmax
+
+    def _quantile(
+        self, buckets: list[int], count: int, vmax: float, q: float
+    ) -> float:
+        if not count:
+            return 0.0
+        target = max(q * count, 1.0)
+        seen = 0
+        for i, n in enumerate(buckets):
+            seen += n
+            if seen >= target:
+                if i < len(self._bounds):
+                    return self._bounds[i]
+                return vmax
+        return vmax
+
+    def window_snapshot(self, window_s: int) -> dict[str, Any]:
+        """Count/mean/quantiles/rate of the trailing *window_s* seconds."""
+        now = self._clock()
+        buckets, count, total, vmax = self._merged(window_s, now)
+        return {
+            "count": count,
+            "mean": (total / count) if count else 0.0,
+            "max": vmax,
+            "p50": self._quantile(buckets, count, vmax, 0.50),
+            "p95": self._quantile(buckets, count, vmax, 0.95),
+            "p99": self._quantile(buckets, count, vmax, 0.99),
+            "p999": self._quantile(buckets, count, vmax, 0.999),
+            "rate": count / window_s,
+        }
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """All configured windows, keyed by label ("10s"/"60s"/"5m")."""
+        return {window_label(w): self.window_snapshot(w) for w in self.windows}
+
+    def merge(self, other: "SlidingHistogram") -> None:
+        """Fold *other*'s live slices into this ring, second by second.
+
+        Used when aggregating per-shard (or per-replica) registries into
+        one runtime-wide view: slices holding the same second sum; a
+        slice holding a *newer* second than ours replaces the stale slot,
+        exactly as a local ``record`` in that second would have.
+        """
+        if other._bounds != self._bounds:
+            raise ValueError(
+                f"cannot merge sliding histograms with different bucket "
+                f"layouts ({self.name!r} vs {other.name!r})"
+            )
+        if other._n_slices != self._n_slices:
+            raise ValueError("cannot merge sliding histograms of different spans")
+        with other._lock:
+            stamps = list(other._stamps)
+            counts = list(other._counts)
+            sums = list(other._sums)
+            maxes = list(other._maxes)
+            buckets = [list(b) for b in other._buckets]
+        with self._lock:
+            for idx in range(self._n_slices):
+                stamp = stamps[idx]
+                if stamp < 0 or not counts[idx]:
+                    continue
+                if self._stamps[idx] == stamp:
+                    mine = self._buckets[idx]
+                    for i, n in enumerate(buckets[idx]):
+                        mine[i] += n
+                    self._counts[idx] += counts[idx]
+                    self._sums[idx] += sums[idx]
+                    if maxes[idx] > self._maxes[idx]:
+                        self._maxes[idx] = maxes[idx]
+                elif stamp > self._stamps[idx]:
+                    self._stamps[idx] = stamp
+                    self._buckets[idx] = buckets[idx]
+                    self._counts[idx] = counts[idx]
+                    self._sums[idx] = sums[idx]
+                    self._maxes[idx] = maxes[idx]
+
+
+class SlidingRate:
+    """Per-second event counts over multiple trailing windows."""
+
+    __slots__ = ("name", "windows", "_n_slices", "_stamps", "_counts",
+                 "_clock", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        windows: Iterable[int] = WINDOWS,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.name = name
+        self.windows = tuple(sorted(int(w) for w in windows))
+        if not self.windows or self.windows[0] < 1:
+            raise ValueError("windows must be positive second counts")
+        self._n_slices = self.windows[-1]
+        self._stamps = [-1] * self._n_slices
+        self._counts = [0] * self._n_slices
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        sec = int(self._clock())
+        idx = sec % self._n_slices
+        with self._lock:
+            if self._stamps[idx] != sec:
+                self._stamps[idx] = sec
+                self._counts[idx] = 0
+            self._counts[idx] += n
+
+    def window_count(self, window_s: int) -> int:
+        now = self._clock()
+        lo = now - window_s
+        total = 0
+        with self._lock:
+            for idx in range(self._n_slices):
+                stamp = self._stamps[idx]
+                if stamp < 0 or stamp <= lo - 1 or stamp > now:
+                    continue
+                total += self._counts[idx]
+        return total
+
+    def rate(self, window_s: int) -> float:
+        """Events per second over the trailing *window_s* seconds."""
+        return self.window_count(window_s) / window_s
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        out: dict[str, dict[str, Any]] = {}
+        for w in self.windows:
+            count = self.window_count(w)
+            out[window_label(w)] = {"count": count, "rate": count / w}
+        return out
+
+    def merge(self, other: "SlidingRate") -> None:
+        if other._n_slices != self._n_slices:
+            raise ValueError("cannot merge sliding rates of different spans")
+        with other._lock:
+            stamps = list(other._stamps)
+            counts = list(other._counts)
+        with self._lock:
+            for idx in range(self._n_slices):
+                stamp = stamps[idx]
+                if stamp < 0 or not counts[idx]:
+                    continue
+                if self._stamps[idx] == stamp:
+                    self._counts[idx] += counts[idx]
+                elif stamp > self._stamps[idx]:
+                    self._stamps[idx] = stamp
+                    self._counts[idx] = counts[idx]
+
+
+class WindowRegistry:
+    """Named sliding instruments, one per :class:`MetricsRegistry`.
+
+    ``histogram``/``rate`` are get-or-create (creation kwargs apply on
+    first creation only), mirroring the cumulative registry's contract.
+    The *clock* set here is inherited by every instrument it creates —
+    tests inject a fake clock once and every window follows it.
+    """
+
+    def __init__(self, *, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._histograms: dict[str, SlidingHistogram] = {}
+        self._rates: dict[str, SlidingRate] = {}
+
+    def histogram(self, name: str, **kwargs: Any) -> SlidingHistogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                kwargs.setdefault("clock", self._clock)
+                h = self._histograms[name] = SlidingHistogram(name, **kwargs)
+            return h
+
+    def rate(self, name: str, **kwargs: Any) -> SlidingRate:
+        with self._lock:
+            r = self._rates.get(name)
+            if r is None:
+                kwargs.setdefault("clock", self._clock)
+                r = self._rates[name] = SlidingRate(name, **kwargs)
+            return r
+
+    def merge(self, other: "WindowRegistry") -> None:
+        with other._lock:
+            hists = list(other._histograms.values())
+            rates = list(other._rates.values())
+        for h in hists:
+            self.histogram(
+                h.name,
+                windows=h.windows,
+                lo=h._bounds[0],
+                factor=h._bounds[1] / h._bounds[0] if len(h._bounds) > 1 else 2.0,
+                n_buckets=len(h._bounds),
+            ).merge(h)
+        for r in rates:
+            self.rate(r.name, windows=r.windows).merge(r)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data image: per-window quantiles and rates, by name."""
+        with self._lock:
+            hists = dict(self._histograms)
+            rates = dict(self._rates)
+        return {
+            "histograms": {
+                n: h.snapshot() for n, h in sorted(hists.items())
+            },
+            "rates": {n: r.snapshot() for n, r in sorted(rates.items())},
+        }

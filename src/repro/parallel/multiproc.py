@@ -85,6 +85,9 @@ class MultiprocessRuntime(BaseRuntime):
             tracer=tracer,
             liveness=liveness,
         )
+        from repro.obs.server import maybe_serve_from_env
+
+        self._telemetry = maybe_serve_from_env(self)
 
     @property
     def group(self) -> ReplicaGroup:
@@ -188,6 +191,7 @@ class MultiprocessRuntime(BaseRuntime):
     # ------------------------------------------------------------------ #
 
     def shutdown(self) -> None:
+        self._close_telemetry()
         self.sharded.shutdown()
 
     def __enter__(self) -> "MultiprocessRuntime":

@@ -78,6 +78,9 @@ class ThreadedReplicaRuntime(BaseRuntime):
             tracer=tracer,
             liveness=liveness,
         )
+        from repro.obs.server import maybe_serve_from_env
+
+        self._telemetry = maybe_serve_from_env(self)
 
     @property
     def group(self) -> ReplicaGroup:
@@ -173,4 +176,5 @@ class ThreadedReplicaRuntime(BaseRuntime):
         return self.sharded.stop_profiling()
 
     def shutdown(self) -> None:
+        self._close_telemetry()
         self.sharded.shutdown()

@@ -81,6 +81,7 @@ from repro.core.statemachine import (
     HostFailed,
     HostRecovered,
 )
+from repro.obs.events import emit as emit_event
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import (
     DEFAULT_HZ,
@@ -257,6 +258,16 @@ class ReplicaGroup:
         self._g_seq_depth = self.metrics.gauge("sequencer_inbox_depth")
         self._g_read_depth = self.metrics.gauge("read_lane_depth")
         self._g_apply_depth = self.metrics.gauge("replica_inbox_max_depth")
+        #: Sliding-window companions (repro.obs.window): the same signals
+        #: over the trailing 10s/60s/5m, for `cli top`'s "now" view and
+        #: the SLO rules — a cumulative p99 can neither burn nor recover.
+        self._w_e2e = self.metrics.windows.histogram("ags_e2e")
+        self._w_read = self.metrics.windows.histogram("read_latency")
+        self._r_cmds = self.metrics.windows.rate("commands_submitted")
+        self._r_read_fast = self.metrics.windows.rate("read_fast")
+        self._r_read_fb = self.metrics.windows.rate("read_fallback")
+        self._r_failures = self.metrics.windows.rate("failures_detected")
+        self._r_autorec = self.metrics.windows.rate("auto_recoveries")
         #: Stage attribution (opt-in, read once at construction): when on,
         #: batches carry a broadcast stamp and replicas answer each with a
         #: STAGES emission — see repro.obs.stages.  The histograms exist
@@ -395,6 +406,7 @@ class ReplicaGroup:
                 self._waiters.pop(cmd.request_id, None)
             raise RuntimeFailure(self._group_error)
         self._c_cmds.inc()
+        self._r_cmds.inc()
         if (
             self.read_fastpath
             and isinstance(cmd, ExecuteAGS)
@@ -497,12 +509,15 @@ class ReplicaGroup:
                 if self._reads.pop(cmd.request_id, None) is not None:
                     return False
         self._c_read_fast.inc()
+        self._r_read_fast.inc()
         return True
 
     def _await_read(self, cmd: ExecuteAGS, w: _Waiter, timeout: float | None) -> Any:
         """Wait out a fast-path read; degrade to the ordered ladder."""
         if w.event.wait(timeout):
-            self._h_read.record(time.monotonic() - w.t_submit)
+            elapsed = time.monotonic() - w.t_submit
+            self._h_read.record(elapsed)
+            self._w_read.record(elapsed)
             return self._resolve(w.slot[0])
         with self._state_lock:
             owned = self._reads.pop(cmd.request_id, None)
@@ -530,6 +545,7 @@ class ReplicaGroup:
             w = self._waiters.get(request_id) if entry is not None else None
         if entry is not None and w is not None:
             self._c_read_fallback.inc()
+            self._r_read_fb.inc()
             self._ship(entry[1], w)
             if w.fellback is not None:
                 w.fellback.set()
@@ -624,6 +640,10 @@ class ReplicaGroup:
         at entry via ``_group_error``.
         """
         self._group_error = reason
+        emit_event(
+            "group_failed", severity="critical",
+            group=self.name or "group", reason=reason,
+        )
         with self._state_lock:
             waiters = list(self._waiters.values())
             self._waiters.clear()
@@ -763,6 +783,7 @@ class ReplicaGroup:
             if w.t_ordered is not None:
                 self._h_apply.record(now - w.t_ordered)
             self._h_e2e.record(now - w.t_submit)
+            self._w_e2e.record(now - w.t_submit)
             tracer = self.tracer
             if tracer is not None and w.trace_id is not None:
                 tracer.record_span(
@@ -921,6 +942,10 @@ class ReplicaGroup:
                 "membership", "crash",
                 args={"cause": cause},
             )
+        emit_event(
+            "replica_dead", severity="warning",
+            group=self.name or "group", replica=replica_id, cause=cause,
+        )
         if notify and any(self.alive):
             self.post(
                 HostFailed(
@@ -975,7 +1000,13 @@ class ReplicaGroup:
         if not self._declare_dead(replica_id, notify=True, cause="detector"):
             return  # raced a cooperative crash_replica; it owned the death
         self._c_failures.inc()
+        self._r_failures.inc()
         self._h_detect.record(silent)
+        emit_event(
+            "failure_detected", severity="warning",
+            group=self.name or "group", replica=replica_id,
+            silent_s=round(silent, 4),
+        )
         if self.tracer is not None:
             self.tracer.record_span(
                 time.monotonic(), "monitor", "liveness", "detect",
@@ -999,6 +1030,11 @@ class ReplicaGroup:
                     time.monotonic(), "monitor", "liveness", "gave_up",
                     args={"replica": replica_id, "restarts": attempts},
                 )
+            emit_event(
+                "recovery_gave_up", severity="error",
+                group=self.name or "group", replica=replica_id,
+                restarts=attempts,
+            )
             return  # crash-looping: the restart budget is spent
         delay = min(
             policy.backoff_initial * (2.0 ** attempts), policy.backoff_max
@@ -1021,6 +1057,13 @@ class ReplicaGroup:
                 self._schedule_recovery(replica_id)
             else:
                 self._c_autorec.inc()
+                self._r_autorec.inc()
+                emit_event(
+                    "auto_recovered",
+                    group=self.name or "group", replica=replica_id,
+                    attempt=self._restarts[replica_id],
+                    took_s=round(time.monotonic() - t0, 4),
+                )
                 if self.tracer is not None:
                     self.tracer.record_span(
                         t0, "monitor", "liveness", "auto_recover",
@@ -1104,6 +1147,10 @@ class ReplicaGroup:
                 "recover",
                 args={"applied": applied},
             )
+        emit_event(
+            "replica_recovered",
+            group=self.name or "group", replica=replica_id, applied=applied,
+        )
 
     # ------------------------------------------------------------------ #
     # inspection
