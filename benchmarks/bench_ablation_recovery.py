@@ -1,7 +1,7 @@
-"""Ablations A3/A4 — recovery transfer pacing and failure detection.
+"""Ablations A3/A4/A5c — recovery pacing, detection, and bounded replay.
 
-Two implementation parameters DESIGN.md calls out, each with a real
-trade-off the simulated substrate can quantify:
+Implementation parameters DESIGN.md calls out, each with a real
+trade-off this file quantifies:
 
 **A3 — snapshot fragment size.**  E7's development caught the failure
 mode twice: unfragmented (or unpaced) snapshot transfers monopolize the
@@ -15,6 +15,17 @@ timeout trade detection latency (how long a crashed worker's in-progress
 subtasks sit unrecycled) against steady-state chatter (frames/second of
 heartbeats).  The paper's fail-stop conversion is only as fast as this
 detector.
+
+**A5c — recovery time vs snapshot interval (runner schema).**  The
+segmented WAL's acceptance bar: recovery must be bounded by the snapshot
+cadence, not the history.  A single-host workload of 10x–100x the A5b
+log sizes runs once against the full-log :class:`WALRuntime` (replay is
+O(history)) and once per snapshot interval against the
+:class:`SegmentedWALRuntime` (replay is one snapshot load plus the delta
+since the last compaction, with a mid-interval crash so the delta is
+representative).  The headline metric is the 10x speedup, which the
+durable plane promises to keep ≥5x; ``main()`` publishes the curves as
+``BENCH_ablation_recovery.json`` for the perf-regression harness.
 """
 
 from __future__ import annotations
@@ -133,3 +144,181 @@ def test_a4_detection_latency_vs_chatter(benchmark):
     slow = rows[(100_000.0, 400_000.0)]
     assert fast["detect_ms"] < slow["detect_ms"]
     assert fast["chatter_fps"] > slow["chatter_fps"]
+
+
+# --------------------------------------------------------------------- #
+# A5c — segmented recovery vs full-log replay (bench-runner schema)
+# --------------------------------------------------------------------- #
+
+#: A5b's largest replay measurement is 5 000 records — the "1x" here.
+BASE_OPS = 5_000
+#: Live tuples kept in the space; everything older is consumed, so the
+#: snapshot stays O(state) while the log grows O(history).
+KEEP = 1_000
+#: Snapshot intervals (records between compactions) swept at 10x.
+INTERVALS_10X = (1_000, 5_000, 20_000)
+INTERVAL_100X = 20_000
+QUICK_DIVISOR = 10
+
+
+def _populate(rt, n_ops: int, compact_every: int | None) -> None:
+    """Drive *n_ops* logged commands, compacting at the given cadence.
+
+    First fills the space to KEEP live tuples, then runs out/in pairs so
+    the space size stays put while the log keeps growing.  Compaction is
+    invoked deterministically from this loop (not the background thread)
+    so every run of a given configuration journals the same history.
+    """
+    from repro.core.spaces import MAIN_TS
+
+    since = 0
+    for i in range(n_ops):
+        if i < KEEP or (i - KEEP) % 2 == 0:
+            rt.out(MAIN_TS, "x", i)
+        else:
+            rt.in_(MAIN_TS, "x", formal(int))
+        since += 1
+        if compact_every is not None and since >= compact_every:
+            rt.compact()
+            since = 0
+
+
+def _timed_recovery(kind: str, n_ops: int, interval: int | None, tmp: str):
+    """Populate, crash, recover; return (recover_seconds, replayed)."""
+    import os
+    import time
+
+    from repro.persist import SegmentedWALRuntime, WALRuntime
+
+    if kind == "fulllog":
+        path = os.path.join(tmp, f"full-{n_ops}.wal")
+        rt = WALRuntime(path, fsync=False)
+        _populate(rt, n_ops, None)
+        rt.crash()
+        t0 = time.perf_counter()
+        back = WALRuntime.recover(path)
+    else:
+        path = os.path.join(tmp, f"seg-{n_ops}-{interval}")
+        # segments must rotate well below the snapshot interval or
+        # compaction has nothing closed to prune and recovery re-scans
+        # the whole history anyway (it would skip the covered slots, but
+        # only after unpickling them)
+        rt = SegmentedWALRuntime(path, fsync=False, segment_bytes=1 << 15)
+        # crash mid-interval: the replayed delta is interval/2, the
+        # representative case, not the flattering just-compacted one
+        assert interval is not None
+        _populate(rt, n_ops, interval)
+        _populate(rt, interval // 2, None)
+        rt.crash()
+        t0 = time.perf_counter()
+        back = SegmentedWALRuntime.recover(path, fsync=False)
+    seconds = time.perf_counter() - t0
+    replayed = back.replayed
+    back.close()
+    return seconds, replayed
+
+
+def run_recovery_ablation(quick: bool = False) -> dict:
+    """Measure the recovery curves; save the table; return raw numbers."""
+    import tempfile
+
+    div = QUICK_DIVISOR if quick else 1
+    sizes = {"10x": 10 * BASE_OPS // div, "100x": 100 * BASE_OPS // div}
+    table = Table(
+        "A5c: recovery time vs snapshot interval (segmented WAL)",
+        ["size", "records", "mode", "interval", "recover ms", "replayed"],
+    )
+    out: dict = {"sizes": sizes, "curves": {}}
+    with tempfile.TemporaryDirectory(prefix="bench-a5c-") as tmp:
+        for label, n_ops in sizes.items():
+            full_s, full_replayed = _timed_recovery("fulllog", n_ops, None, tmp)
+            table.add(label, n_ops, "full log", "-", full_s * 1000, full_replayed)
+            intervals = (
+                INTERVALS_10X if label == "10x" else (INTERVAL_100X,)
+            )
+            curve = {"fulllog_s": full_s, "segmented": {}}
+            for interval in intervals:
+                iv = max(interval // div, 10)
+                seg_s, seg_replayed = _timed_recovery(
+                    "segmented", n_ops, iv, tmp
+                )
+                # keyed by the NOMINAL interval so quick and full runs
+                # produce the same metric names for `bench compare`
+                curve["segmented"][interval] = seg_s
+                table.add(
+                    label, n_ops, "segmented", iv, seg_s * 1000, seg_replayed
+                )
+            out["curves"][label] = curve
+    best_10x = min(out["curves"]["10x"]["segmented"].values())
+    out["speedup_10x"] = out["curves"]["10x"]["fulllog_s"] / best_10x
+    table.note(
+        "full-log replay is O(history); segmented recovery is one snapshot "
+        "load (O(state), state capped at "
+        f"{KEEP} live tuples) plus the delta since the last compaction — "
+        f"10x speedup here: {out['speedup_10x']:.1f}x (bar: >=5x)"
+    )
+    save_table(table, "ablation_recovery_interval")
+    return out
+
+
+def test_a5c_segmented_recovery_bound(benchmark):
+    out = benchmark.pedantic(
+        run_recovery_ablation, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    # the acceptance bar, at quick size: bounded recovery beats full
+    # replay by >=5x even before the history grows to the full 10x run
+    assert out["speedup_10x"] >= 5.0, out
+    # the curve means something: longer intervals replay bigger deltas
+    seg = out["curves"]["10x"]["segmented"]
+    assert len(seg) == len(INTERVALS_10X)
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    from repro.bench import make_result, metric, save_result
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"{QUICK_DIVISOR}x smaller logs (CI smoke)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="OUT",
+        default="BENCH_ablation_recovery.json",
+        help="machine-readable results path (default: "
+        "benchmarks/results/BENCH_ablation_recovery.json)",
+    )
+    opts = parser.parse_args(argv)
+    out = run_recovery_ablation(quick=opts.quick)
+    metrics: dict[str, dict] = {
+        # the headline: bounded recovery vs O(history) replay at 10x
+        "speedup_10x": metric(out["speedup_10x"], "higher", tolerance=0.5),
+    }
+    for label, curve in out["curves"].items():
+        metrics[f"fulllog_recover_s_{label}"] = metric(
+            curve["fulllog_s"], "lower", unit="s"
+        )
+        for interval, seconds in curve["segmented"].items():
+            metrics[f"segmented_recover_s_{label}_iv{interval}"] = metric(
+                seconds, "lower", unit="s"
+            )
+    payload = make_result(
+        "ablation_recovery",
+        metrics,
+        config={
+            "base_ops": BASE_OPS,
+            "keep_tuples": KEEP,
+            "sizes": out["sizes"],
+            "intervals_10x": list(INTERVALS_10X),
+            "interval_100x": INTERVAL_100X,
+        },
+        quick=opts.quick,
+    )
+    print(f"wrote {save_result(payload, opts.json)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -195,6 +195,35 @@ class ChaosMonkey:
         self.group._kick.set()
         self._note("kill_sequencer")
 
+    def kill_donor_mid_transfer(self, at_chunk: int = 1) -> Callable[[], int | None]:
+        """Arm a one-shot fault: kill the donor of the NEXT chunked state
+        transfer right after it serves chunk *at_chunk*.
+
+        Exercises the resumable-transfer claim: the recovery driver must
+        notice the death via the transport probe (it holds the sequencer
+        lock, so the failure detector cannot help it), resume the fetch
+        from another live donor, and only afterwards declare the victim
+        dead.  The kill uses the same non-cooperative path as
+        :meth:`kill_replica` — no group bookkeeping runs on this thread,
+        which would deadlock against the lock the transfer holds.
+
+        Returns a ``fired()`` callable: the killed donor's id, or None if
+        no transfer reached *at_chunk* chunks yet.
+        """
+        group = self.group
+        victim: list[int] = []
+
+        def hook(donor: int, idx: int, total: int) -> None:
+            if not victim and idx == at_chunk:
+                victim.append(donor)
+                group._xfer_chunk_hook = None
+                self.kill_replica(donor)
+                self._note("kill_donor_mid_transfer", donor, idx, total)
+
+        group._xfer_chunk_hook = hook
+        self._note("arm_donor_kill", at_chunk)
+        return lambda: victim[0] if victim else None
+
     # ------------------------------------------------------------------ #
     # scripting
     # ------------------------------------------------------------------ #

@@ -45,7 +45,7 @@ from repro.core.tuples import Formal, LindaTuple
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import FlightRecorder
 
-__all__ = ["BaseRuntime", "LocalRuntime", "ProcessView"]
+__all__ = ["BaseRuntime", "LocalRuntime", "ProcessView", "SnapshotView"]
 
 #: Origin-host id LocalRuntime stamps on its own commands.  It is reserved:
 #: failure injection uses non-negative *logical* host ids (worker ids), and
@@ -617,6 +617,77 @@ class LocalRuntime(BaseRuntime):
     def space_tuples(self, handle: TSHandle) -> list[LindaTuple]:
         with self._lock:
             return self._sm.registry.store(handle).to_list()
+
+    # ------------------------------------------------------------------ #
+    # snapshot-isolated reads
+    # ------------------------------------------------------------------ #
+
+    def retain_snapshot(self) -> int:
+        """Take (and retain) a COW snapshot at the current slot boundary.
+
+        Only the O(dirty-buckets) image capture runs under the runtime
+        lock; returns the slot the image is pinned at, usable with
+        :meth:`read_at`.  The persistent runtimes retain one of these per
+        compaction automatically.
+        """
+        with self._lock:
+            return self._sm.cow_snapshot(retain=True).applied_count
+
+    def snapshot_slots(self) -> list[int]:
+        """Slots currently answerable by :meth:`read_at`, oldest first."""
+        return self._sm.retained_slots()
+
+    def read_at(self, slot: int | None = None) -> "SnapshotView":
+        """Snapshot-isolated reads at a retained slot (newest by default).
+
+        The returned view is materialized from an immutable snapshot
+        image on the *caller's* thread — it holds no runtime lock and
+        shares no mutable structure with the live state machine, so
+        reads against it never contend with concurrent ``out``/``in``
+        traffic, and always observe exactly the state at the slot
+        boundary the snapshot was taken at.
+        """
+        view, actual = self._sm.read_view(slot)
+        return SnapshotView(view, actual)
+
+
+class SnapshotView:
+    """Read-only tuple-space queries frozen at one snapshot slot.
+
+    Produced by :meth:`LocalRuntime.read_at`; every method evaluates
+    against a private state machine materialized from the retained
+    snapshot image, so results are stable no matter how much the live
+    space churns underneath.
+    """
+
+    __slots__ = ("_sm", "slot")
+
+    def __init__(self, sm: TSStateMachine, slot: int):
+        self._sm = sm
+        self.slot = slot
+
+    def rdp(self, ts: TSHandle, *fields: Any) -> LindaTuple | None:
+        """Non-blocking read against the frozen state."""
+        named, _ = _autoname(fields)
+        res = self._sm.try_read(AGS.single(Guard.rdp(ts, *named)), 0)
+        if res is None or not res.succeeded:
+            return None
+        return _rebuild(named, res)
+
+    def count(self, ts: TSHandle, *fields: Any) -> int:
+        """Number of tuples matching the pattern at the frozen slot."""
+        from repro.core.tuples import Pattern
+
+        return self._sm.registry.store(ts).count(Pattern(tuple(fields)))
+
+    def size(self, ts: TSHandle) -> int:
+        return len(self._sm.registry.store(ts))
+
+    def tuples(self, ts: TSHandle) -> list[LindaTuple]:
+        return self._sm.registry.store(ts).to_list()
+
+    def fingerprint(self) -> int:
+        return self._sm.fingerprint()
 
 
 def _now() -> float:

@@ -74,6 +74,8 @@ class MultiprocessRuntime(BaseRuntime):
         tracer: FlightRecorder | None = None,
         detect_failures: bool | LivenessPolicy = False,
         auto_recover: bool = False,
+        durable_dir: str | None = None,
+        durable_fsync: bool = True,
     ):
         super().__init__()
         liveness = resolve_liveness(detect_failures, auto_recover)
@@ -84,6 +86,8 @@ class MultiprocessRuntime(BaseRuntime):
             read_fastpath=read_fastpath,
             tracer=tracer,
             liveness=liveness,
+            durable_dir=durable_dir,
+            durable_fsync=durable_fsync,
         )
         from repro.obs.server import maybe_serve_from_env
 
@@ -148,6 +152,14 @@ class MultiprocessRuntime(BaseRuntime):
     def recover_replica(self, replica_id: int, *, timeout: float = 30.0) -> None:
         """Restart a killed replica process and transfer state into it."""
         self.sharded.recover_replica(replica_id, timeout=timeout)
+
+    def compact_journal(self, *, timeout: float = 30.0) -> list:
+        """Durable mode: snapshot + prune every shard's journal."""
+        return self.sharded.compact_journal(timeout=timeout)
+
+    def journal_status(self) -> list:
+        """Durable mode: per-shard journal status (empty when volatile)."""
+        return self.sharded.journal_status()
 
     def quiesce(self, timeout: float = 30.0) -> None:
         """Wait until every live replica has applied every broadcast."""

@@ -67,6 +67,8 @@ class ThreadedReplicaRuntime(BaseRuntime):
         tracer: FlightRecorder | None = None,
         detect_failures: bool | LivenessPolicy = False,
         auto_recover: bool = False,
+        durable_dir: str | None = None,
+        durable_fsync: bool = True,
     ):
         super().__init__()
         liveness = resolve_liveness(detect_failures, auto_recover)
@@ -77,6 +79,8 @@ class ThreadedReplicaRuntime(BaseRuntime):
             read_fastpath=read_fastpath,
             tracer=tracer,
             liveness=liveness,
+            durable_dir=durable_dir,
+            durable_fsync=durable_fsync,
         )
         from repro.obs.server import maybe_serve_from_env
 
@@ -131,6 +135,14 @@ class ThreadedReplicaRuntime(BaseRuntime):
     def recover_replica(self, replica_id: int, *, timeout: float = 30.0) -> None:
         """Restart a halted replica thread and transfer state into it."""
         self.sharded.recover_replica(replica_id, timeout=timeout)
+
+    def compact_journal(self, *, timeout: float = 30.0) -> list:
+        """Durable mode: snapshot + prune every shard's journal."""
+        return self.sharded.compact_journal(timeout=timeout)
+
+    def journal_status(self) -> list:
+        """Durable mode: per-shard journal status (empty when volatile)."""
+        return self.sharded.journal_status()
 
     def query(self, replica_id: int, what: str, arg=None, timeout: float = 30.0):
         """In-band query: answered after all previously sequenced commands."""

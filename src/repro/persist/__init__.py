@@ -13,9 +13,33 @@ be measured instead of asserted:
   identical state (the state machine's determinism does the heavy
   lifting — replay *is* re-execution);
 - the A5 ablation benchmark compares per-op overhead and recovery time
-  of logging (with and without fsync) against the replicated cluster.
+  of logging (with and without fsync) against the replicated cluster;
+- :class:`~repro.persist.segments.SegmentedWALRuntime` — the scaled-up
+  durability plane: rotated log segments, incremental copy-on-write
+  snapshots taken by a background compactor, and recovery bounded by the
+  snapshot cadence instead of the full history (see
+  :mod:`repro.persist.segments`), with env-gated SIGKILL crash points
+  (:mod:`repro.persist.crashpoints`) so the crash-safety argument is
+  exercised, not assumed.
 """
 
+from repro.persist.crashpoints import CRASHPOINT_ENV, crash_here
+from repro.persist.segments import (
+    ReplayResult,
+    SegmentedLog,
+    SegmentedWALRuntime,
+    fsync_dir,
+    replay_dir,
+)
 from repro.persist.wal import WALRuntime
 
-__all__ = ["WALRuntime"]
+__all__ = [
+    "WALRuntime",
+    "SegmentedWALRuntime",
+    "SegmentedLog",
+    "ReplayResult",
+    "replay_dir",
+    "fsync_dir",
+    "CRASHPOINT_ENV",
+    "crash_here",
+]

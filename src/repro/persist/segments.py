@@ -1,0 +1,730 @@
+"""Segmented WAL: rotated segments, background compaction, bounded recovery.
+
+:mod:`repro.persist.wal` keeps the whole history in one file, so both
+compaction and recovery are O(history).  This module bounds recovery time
+by *structure* instead:
+
+- the log is a **directory** of fixed-size-ish segment files
+  (``segment-00000042.log``), each a sequence of length-prefixed pickled
+  ``(slot, payload)`` records, where *slot* is the state machine's
+  ``applied_count`` after the payload command applies — the position of
+  the record in the total order;
+- a **snapshot** (``snapshot-0000000000001337.snap``) is a single framed
+  record holding the machine image at a slot boundary.  Snapshots are
+  written to a temp file, fsynced, and atomically renamed — the
+  directory never contains a half-visible snapshot under its final name;
+- a **MANIFEST** (JSON, also written via temp + rename) records what the
+  last compaction believed the directory held.  It is *informational*:
+  replay is a directory scan that trusts only file names and framing, so
+  a torn or stale manifest is tolerated exactly like a torn record;
+- **recovery** loads the newest readable snapshot and replays only the
+  segment records with ``slot > snapshot_slot`` — O(delta since the last
+  snapshot), not O(history).
+
+Crash-safety is testable, not just argued: the five
+:mod:`repro.persist.crashpoints` are planted at the exact instants a
+naive implementation corrupts state (mid-record, before/after the
+snapshot rename, before and during prune), and the chaos tests SIGKILL
+subprocess victims at each one, then require fingerprint-identical
+recovery.
+
+The segment format is payload-agnostic — :class:`SegmentedWALRuntime`
+journals single-host commands through it, and the replication layer
+reuses the same :class:`SegmentedLog` for the durable replica-group
+journal and for chunked state-transfer encoding.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import pickle
+import struct
+import threading
+import time
+from typing import Any, BinaryIO
+
+from repro.core.runtime import LocalRuntime
+from repro.core.statemachine import Command, TSStateMachine
+from repro.persist.crashpoints import armed, crash_here
+
+__all__ = [
+    "SegmentedLog",
+    "SegmentedWALRuntime",
+    "ReplayResult",
+    "replay_dir",
+    "fsync_dir",
+]
+
+_LEN = struct.Struct(">I")
+
+SEGMENT_PREFIX = "segment-"
+SEGMENT_SUFFIX = ".log"
+SNAPSHOT_PREFIX = "snapshot-"
+SNAPSHOT_SUFFIX = ".snap"
+MANIFEST = "MANIFEST"
+
+
+def fsync_dir(path: str) -> None:
+    """fsync the directory containing *path* (or *path* itself if a dir).
+
+    Renames and unlinks are durable only once the *directory entry* is on
+    disk; a crash after ``os.replace`` but before the directory fsync can
+    resurrect the old name.  Platforms that refuse ``open(dir)`` (e.g.
+    Windows) skip silently — rename atomicity still holds there.
+    """
+    d = path if os.path.isdir(path) else (os.path.dirname(os.path.abspath(path)))
+    try:
+        fd = os.open(d, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class _Torn(Exception):
+    """A framed record ended before its declared length (crash tail)."""
+
+
+def _read_framed(f: BinaryIO) -> bytes:
+    """Read one length-prefixed record or raise :class:`_Torn`."""
+    header = f.read(_LEN.size)
+    if len(header) < _LEN.size:
+        raise _Torn
+    (length,) = _LEN.unpack(header)
+    blob = f.read(length)
+    if len(blob) < length:
+        raise _Torn
+    return blob
+
+
+def _scan_segment(path: str) -> tuple[list[tuple[int, Any]], int, int]:
+    """All good ``(slot, payload)`` records of a segment, plus torn tail.
+
+    Returns ``(records, torn_bytes, torn_records)``.  A tear mid-record
+    ends the scan — records are appended strictly in order, so nothing
+    readable can follow a tear.
+    """
+    records: list[tuple[int, Any]] = []
+    torn_bytes = 0
+    torn_records = 0
+    with open(path, "rb") as f:
+        while True:
+            start = f.tell()
+            try:
+                blob = _read_framed(f)
+            except _Torn:
+                f.seek(0, os.SEEK_END)
+                end = f.tell()
+                if end > start:
+                    torn_bytes = end - start
+                    torn_records = 1
+                break
+            records.append(pickle.loads(blob))
+    return records, torn_bytes, torn_records
+
+
+class SegmentedLog:
+    """A directory of rotated, length-prefixed record segments.
+
+    Not thread-safe by itself — callers serialize appends (the runtimes
+    append under their submission lock) and run compaction-side methods
+    (``write_snapshot``/``write_manifest``/``prune``) from one compactor
+    thread at a time.  Appends and compaction may interleave: compaction
+    only ever touches *closed* segments and snapshot/manifest files.
+    """
+
+    def __init__(self, dir: str, *, fsync: bool = True, segment_bytes: int = 1 << 20):
+        os.makedirs(dir, exist_ok=True)
+        self.dir = dir
+        self.fsync = fsync
+        self.segment_bytes = segment_bytes
+        # Never append to a pre-existing segment: a fresh process gets a
+        # fresh segment (lazily, on first append), so concurrent pruning
+        # of old segments can never race an open write handle.
+        self._seg: BinaryIO | None = None
+        self._seg_index = self._next_index()
+        self._seg_size = 0
+
+    # ------------------------------------------------------------------ #
+    # directory layout
+    # ------------------------------------------------------------------ #
+
+    def segments(self) -> list[tuple[int, str]]:
+        """Sorted ``(index, path)`` of every segment file on disk."""
+        out = []
+        for name in os.listdir(self.dir):
+            if name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX):
+                try:
+                    idx = int(name[len(SEGMENT_PREFIX) : -len(SEGMENT_SUFFIX)])
+                except ValueError:
+                    continue
+                out.append((idx, os.path.join(self.dir, name)))
+        out.sort()
+        return out
+
+    def snapshots(self) -> list[tuple[int, str]]:
+        """Sorted ``(slot, path)`` of every snapshot file on disk."""
+        out = []
+        for name in os.listdir(self.dir):
+            if name.startswith(SNAPSHOT_PREFIX) and name.endswith(SNAPSHOT_SUFFIX):
+                try:
+                    slot = int(name[len(SNAPSHOT_PREFIX) : -len(SNAPSHOT_SUFFIX)])
+                except ValueError:
+                    continue
+                out.append((slot, os.path.join(self.dir, name)))
+        out.sort()
+        return out
+
+    def _next_index(self) -> int:
+        segs = self.segments()
+        return segs[-1][0] + 1 if segs else 0
+
+    # ------------------------------------------------------------------ #
+    # appending
+    # ------------------------------------------------------------------ #
+
+    def append(self, slot: int, payload: Any) -> None:
+        """Frame and append ``(slot, payload)``; fsync per the policy."""
+        self._write_record(slot, payload)
+        self._sync()
+
+    def append_many(self, pairs) -> int:
+        """Append many ``(slot, payload)`` pairs under ONE flush+fsync.
+
+        The group journal's batch amortization: a sequencer batch of N
+        commands costs one fsync, not N — the same argument that batches
+        the broadcast itself.  Returns the number of records written.
+        """
+        n = 0
+        for slot, payload in pairs:
+            self._write_record(slot, payload)
+            n += 1
+        if n:
+            self._sync()
+        return n
+
+    def _write_record(self, slot: int, payload: Any) -> None:
+        blob = pickle.dumps((slot, payload), protocol=pickle.HIGHEST_PROTOCOL)
+        if self._seg is None or self._seg_size >= self.segment_bytes:
+            self._rotate()
+        seg = self._seg
+        assert seg is not None
+        seg.write(_LEN.pack(len(blob)))
+        if armed() == "segment_mid_record":
+            # Flush a half-written body so the tear is really on disk,
+            # then die: recovery must discard exactly this record.
+            seg.write(blob[: len(blob) // 2])
+            seg.flush()
+            os.fsync(seg.fileno())
+            crash_here("segment_mid_record")
+        seg.write(blob)
+        self._seg_size += _LEN.size + len(blob)
+
+    def _sync(self) -> None:
+        seg = self._seg
+        if seg is None:
+            return
+        seg.flush()
+        if self.fsync:
+            os.fsync(seg.fileno())
+
+    def _rotate(self) -> None:
+        if self._seg is not None:
+            self._seg.close()
+        path = os.path.join(
+            self.dir, f"{SEGMENT_PREFIX}{self._seg_index:08d}{SEGMENT_SUFFIX}"
+        )
+        self._seg = open(path, "ab")
+        self._seg_size = 0
+        self._seg_index += 1
+        if self.fsync:
+            fsync_dir(path)
+
+    @property
+    def active_segment(self) -> str | None:
+        """Path of the currently open segment, if any."""
+        return self._seg.name if self._seg is not None else None
+
+    # ------------------------------------------------------------------ #
+    # compaction side
+    # ------------------------------------------------------------------ #
+
+    def write_snapshot(self, slot: int, blob: bytes) -> str:
+        """Durably install a snapshot covering everything up to *slot*.
+
+        temp file → fsync → :func:`crash_here` → atomic rename → dir
+        fsync: at no instant does the final name hold a partial snapshot,
+        and a crash on either side of the rename leaves a recoverable
+        directory (before: old snapshot + full log; after: new snapshot
+        shadows the covered prefix).
+        """
+        final = os.path.join(
+            self.dir, f"{SNAPSHOT_PREFIX}{slot:016d}{SNAPSHOT_SUFFIX}"
+        )
+        tmp = final + ".tmp"
+        with open(tmp, "wb") as f:
+            f.write(_LEN.pack(len(blob)))
+            f.write(blob)
+            f.flush()
+            os.fsync(f.fileno())
+        crash_here("snapshot_before_rename")
+        os.replace(tmp, final)
+        fsync_dir(final)
+        crash_here("snapshot_after_rename")
+        return final
+
+    def write_manifest(self, snapshot_slot: int) -> None:
+        """Rewrite the (informational) manifest via temp + atomic rename."""
+        doc = {
+            "snapshot_slot": snapshot_slot,
+            "segments": [os.path.basename(p) for _, p in self.segments()],
+            "snapshots": [os.path.basename(p) for _, p in self.snapshots()],
+        }
+        path = os.path.join(self.dir, MANIFEST)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(doc, f, indent=1)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+        fsync_dir(path)
+
+    def prune(self, covered_slot: int) -> list[str]:
+        """Unlink closed segments fully covered by the snapshot at *covered_slot*.
+
+        A segment is covered when its last good record's slot is ≤
+        *covered_slot* (slots grow monotonically within and across
+        segments).  Superseded snapshots are dropped too.  Pruning is
+        pure garbage collection — a crash that leaves covered segments
+        behind only costs replay the work of skipping their records.
+
+        Safe to run concurrently with appends: only segments strictly
+        below the active index are candidates, so a writer's open handle
+        (including one a concurrent rotation just created) can never be
+        unlinked underneath it.
+        """
+        crash_here("manifest_before_prune")
+        removed: list[str] = []
+        cutoff = self._seg_index - 1 if self._seg is not None else self._seg_index
+        for idx, path in self.segments():
+            if idx >= cutoff:
+                continue
+            records, _tb, _tr = _scan_segment(path)
+            if records and records[-1][0] > covered_slot:
+                continue
+            os.unlink(path)
+            removed.append(path)
+            if len(removed) == 1:
+                crash_here("prune_partial")
+        for _slot, path in self.snapshots()[:-1]:
+            os.unlink(path)
+            removed.append(path)
+        if removed:
+            fsync_dir(self.dir)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # introspection / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def status(self) -> dict[str, Any]:
+        segs = self.segments()
+        snaps = self.snapshots()
+
+        def _size(path: str) -> int:
+            try:
+                return os.path.getsize(path)
+            except OSError:
+                return 0
+
+        seg_bytes = sum(_size(p) for _, p in segs)
+        snap_bytes = sum(_size(p) for _, p in snaps)
+        return {
+            "dir": self.dir,
+            "segments": len(segs),
+            "segment_bytes": seg_bytes,
+            "snapshots": len(snaps),
+            "snapshot_bytes": snap_bytes,
+            "snapshot_slot": snaps[-1][0] if snaps else 0,
+            "total_bytes": seg_bytes + snap_bytes,
+        }
+
+    def close(self) -> None:
+        if self._seg is not None:
+            self._seg.close()
+            self._seg = None
+
+
+class ReplayResult:
+    """What :func:`replay_dir` found: snapshot, delta records, damage."""
+
+    __slots__ = (
+        "snapshot",
+        "snapshot_slot",
+        "records",
+        "torn_bytes",
+        "torn_records",
+        "torn_snapshots",
+        "manifest_ok",
+        "segments_read",
+    )
+
+    def __init__(self) -> None:
+        self.snapshot: dict[str, Any] | None = None
+        self.snapshot_slot = 0
+        self.records: list[tuple[int, Any]] = []
+        self.torn_bytes = 0
+        self.torn_records = 0
+        self.torn_snapshots = 0
+        self.manifest_ok = False
+        self.segments_read = 0
+
+
+def replay_dir(dir: str) -> ReplayResult:
+    """Scan a segmented-WAL directory into a :class:`ReplayResult`.
+
+    Trusts only file names and record framing.  The newest *readable*
+    snapshot wins (torn or unpicklable ones are counted and skipped —
+    they were never acknowledged, exactly like torn command records);
+    segment records at slots the snapshot covers are skipped.  The
+    manifest is read solely to report whether it parses.
+    """
+    res = ReplayResult()
+    if not os.path.isdir(dir):
+        return res
+    log = SegmentedLog.__new__(SegmentedLog)
+    log.dir = dir
+    log._seg = None
+
+    manifest = os.path.join(dir, MANIFEST)
+    if os.path.exists(manifest):
+        try:
+            with open(manifest, "r", encoding="utf-8") as f:
+                json.load(f)
+            res.manifest_ok = True
+        except (OSError, ValueError):
+            res.manifest_ok = False
+
+    for slot, path in reversed(log.snapshots()):
+        try:
+            with open(path, "rb") as f:
+                blob = _read_framed(f)
+            res.snapshot = pickle.loads(blob)
+            res.snapshot_slot = slot
+            break
+        except (_Torn, OSError, pickle.UnpicklingError, EOFError):
+            res.torn_snapshots += 1
+
+    for _idx, path in log.segments():
+        records, tb, tr = _scan_segment(path)
+        res.segments_read += 1
+        res.torn_bytes += tb
+        res.torn_records += tr
+        for slot, payload in records:
+            if slot <= res.snapshot_slot:
+                continue
+            res.records.append((slot, payload))
+    return res
+
+
+class SegmentedWALRuntime(LocalRuntime):
+    """A LocalRuntime journaling through a :class:`SegmentedLog`.
+
+    Same contract as :class:`~repro.persist.wal.WALRuntime` — every
+    command is durably framed before it applies, recovery replays the
+    surviving prefix — but with segments, incremental copy-on-write
+    snapshots, and compaction running on a background thread instead of
+    stop-the-world inside the submission lock.
+
+    Parameters
+    ----------
+    dir:
+        Log directory (created as needed).
+    fsync:
+        Force every record (and rotation) to disk.  The durability /
+        latency knob, as in :class:`WALRuntime`.
+    segment_bytes:
+        Rotate the active segment once it exceeds this size.
+    compact_every:
+        Take a snapshot after this many records (None = no count-based
+        trigger).
+    compact_interval:
+        Take a snapshot at least this often, in seconds (None = no
+        time-based trigger).  Either trigger starts the compactor thread.
+    """
+
+    def __init__(
+        self,
+        dir: str,
+        *,
+        fsync: bool = True,
+        segment_bytes: int = 1 << 20,
+        compact_every: int | None = None,
+        compact_interval: float | None = None,
+    ):
+        super().__init__()
+        self._init_wal(
+            dir,
+            fsync=fsync,
+            segment_bytes=segment_bytes,
+            compact_every=compact_every,
+            compact_interval=compact_interval,
+        )
+
+    def _init_wal(
+        self,
+        dir: str,
+        *,
+        fsync: bool,
+        segment_bytes: int,
+        compact_every: int | None,
+        compact_interval: float | None,
+    ) -> None:
+        self.dir = dir
+        self.fsync = fsync
+        self.compact_every = compact_every
+        self.compact_interval = compact_interval
+        self.records_written = 0
+        self.replayed = 0
+        self.torn_bytes = 0
+        self.torn_records = 0
+        self.torn_snapshots = 0
+        self.snapshots_written = 0
+        self.snapshot_slot = 0
+        self._snapshot_time: float | None = None
+        self._records_since_snapshot = 0
+        self.log = SegmentedLog(dir, fsync=fsync, segment_bytes=segment_bytes)
+        self._g_segments = self.metrics.gauge("wal_segments")
+        self._g_wal_bytes = self.metrics.gauge("wal_bytes")
+        self._g_snapshot_slot = self.metrics.gauge("wal_snapshot_slot")
+        self._g_snapshot_age = self.metrics.gauge("wal_snapshot_age_s")
+        self._compact_lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stop_compactor = threading.Event()
+        self._compactor: threading.Thread | None = None
+        if compact_every is not None or compact_interval is not None:
+            self._compactor = threading.Thread(
+                target=self._compaction_loop, name="wal-compactor", daemon=True
+            )
+            self._compactor.start()
+
+    # ------------------------------------------------------------------ #
+    # logging hook (same proxy pattern as WALRuntime)
+    # ------------------------------------------------------------------ #
+
+    def _append(self, command: Command) -> None:
+        # applied_count is the machine's position in the total order and
+        # advances by exactly one per apply; _append runs under the
+        # submission lock immediately before apply, so this command will
+        # land at slot applied_count + 1.
+        slot = self._logging_sm._inner.applied_count + 1
+        self.log.append(slot, command)
+        self.records_written += 1
+        self._records_since_snapshot += 1
+        if (
+            self.compact_every is not None
+            and self._records_since_snapshot >= self.compact_every
+        ):
+            self._wake.set()
+
+    @property
+    def _sm(self):  # type: ignore[override]
+        return self._logging_sm
+
+    @_sm.setter
+    def _sm(self, machine) -> None:
+        from repro.persist.wal import _LoggingSM
+
+        object.__setattr__(self, "_logging_sm", _LoggingSM(self, machine))
+
+    def _wal_bytes(self) -> int | None:
+        try:
+            return self.log.status()["total_bytes"]
+        except OSError:
+            return None
+
+    # ------------------------------------------------------------------ #
+    # compaction
+    # ------------------------------------------------------------------ #
+
+    def _compaction_loop(self) -> None:
+        while True:
+            self._wake.wait(self.compact_interval)
+            if self._stop_compactor.is_set():
+                return
+            self._wake.clear()
+            if self._records_since_snapshot == 0:
+                continue
+            try:
+                self.compact()
+            except Exception as exc:  # noqa: BLE001 - must not kill the thread
+                from repro.obs.events import emit
+
+                emit(
+                    "wal_compaction_failed",
+                    severity="error",
+                    dir=self.dir,
+                    error=repr(exc),
+                )
+
+    def compact(self) -> int | None:
+        """Snapshot the machine and prune covered segments.
+
+        The submission lock is held only for the O(dirty-buckets)
+        copy-on-write image; serialization, the snapshot fsync, the
+        manifest rewrite and pruning all run off the apply path.  Returns
+        the covered slot, or None when nothing new had applied.
+        """
+        from repro.obs.events import emit
+
+        with self._compact_lock:
+            t0 = time.perf_counter()
+            with self._lock:
+                image = self._logging_sm._inner.cow_snapshot(retain=False)
+            slot = image.applied_count
+            if slot <= self.snapshot_slot:
+                return None
+            emit("snapshot_started", dir=self.dir, slot=slot)
+            blob = pickle.dumps(image.to_snapshot(), protocol=pickle.HIGHEST_PROTOCOL)
+            self.log.write_snapshot(slot, blob)
+            self.snapshots_written += 1
+            self.snapshot_slot = slot
+            self._snapshot_time = time.monotonic()
+            # Reset races with concurrent appends; the counter is only a
+            # compaction trigger, so a lost increment just delays the
+            # next snapshot by one command.
+            self._records_since_snapshot = 0
+            self.log.write_manifest(slot)
+            removed = self.log.prune(slot)
+            elapsed = time.perf_counter() - t0
+            emit(
+                "snapshot_finished",
+                dir=self.dir,
+                slot=slot,
+                bytes=len(blob),
+                seconds=elapsed,
+            )
+            emit(
+                "wal_compacted",
+                dir=self.dir,
+                covered_slot=slot,
+                removed=len(removed),
+                bytes=self._wal_bytes(),
+            )
+            self._update_gauges()
+            return slot
+
+    def _update_gauges(self) -> None:
+        st = self.log.status()
+        self._g_segments.set(st["segments"])
+        self._g_wal_bytes.set(st["total_bytes"])
+        self._g_snapshot_slot.set(self.snapshot_slot)
+        if self._snapshot_time is not None:
+            self._g_snapshot_age.set(time.monotonic() - self._snapshot_time)
+
+    def wal_status(self) -> dict[str, Any]:
+        """Everything the ``cli wal`` subcommand shows, as plain data."""
+        st = self.log.status()
+        st["records_written"] = self.records_written
+        st["replayed"] = self.replayed
+        st["torn_bytes"] = self.torn_bytes
+        st["torn_records"] = self.torn_records
+        st["torn_snapshots"] = self.torn_snapshots
+        st["snapshots_written"] = self.snapshots_written
+        st["snapshot_slot"] = max(st["snapshot_slot"], self.snapshot_slot)
+        st["applied"] = self._logging_sm._inner.applied_count
+        st["fsync"] = self.fsync
+        st["snapshot_age_s"] = (
+            time.monotonic() - self._snapshot_time
+            if self._snapshot_time is not None
+            else None
+        )
+        self._update_gauges()
+        return st
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _stop_compaction_thread(self) -> None:
+        if self._compactor is not None:
+            self._stop_compactor.set()
+            self._wake.set()
+            self._compactor.join(timeout=5.0)
+            self._compactor = None
+
+    def close(self) -> None:
+        self._stop_compaction_thread()
+        self.log.close()
+
+    def crash(self) -> None:
+        """Simulate a crash: drop everything volatile, keep only the dir."""
+        self._stop_compaction_thread()
+        self.log.close()
+
+    @classmethod
+    def recover(
+        cls,
+        dir: str,
+        *,
+        fsync: bool = True,
+        segment_bytes: int = 1 << 20,
+        compact_every: int | None = None,
+        compact_interval: float | None = None,
+    ) -> "SegmentedWALRuntime":
+        """Rebuild a runtime from the newest snapshot plus the delta log.
+
+        Replay cost is bounded by the snapshot cadence: one snapshot load
+        plus however many commands applied since it was taken — never the
+        full history.  Torn tails (records, snapshots, manifest) are
+        tolerated and reported, same argument as WALRuntime: a torn
+        record was never acknowledged, so discarding it is correct.
+        """
+        res = replay_dir(dir)
+        rt = cls.__new__(cls)
+        LocalRuntime.__init__(rt)
+        highest_rid = 0
+        if res.snapshot is not None:
+            rt._sm = TSStateMachine.from_snapshot(res.snapshot)
+        inner = rt._logging_sm._inner
+        for rid in inner.completed:
+            highest_rid = max(highest_rid, rid)
+        for b in inner.blocked:
+            highest_rid = max(highest_rid, b.command.request_id)
+        for _slot, command in res.records:
+            highest_rid = max(highest_rid, getattr(command, "request_id", 0))
+            inner.apply(command)
+        # recovery completions are dropped: their clients died with the crash
+        rt._results.clear()
+        rt._req_ids = itertools.count(highest_rid + 1)
+        rt._init_wal(
+            dir,
+            fsync=fsync,
+            segment_bytes=segment_bytes,
+            compact_every=compact_every,
+            compact_interval=compact_interval,
+        )
+        rt.replayed = len(res.records) + (1 if res.snapshot is not None else 0)
+        rt.torn_bytes = res.torn_bytes
+        rt.torn_records = res.torn_records
+        rt.torn_snapshots = res.torn_snapshots
+        rt.snapshot_slot = res.snapshot_slot
+        if res.torn_bytes or res.torn_snapshots:
+            from repro.obs.events import emit
+
+            emit(
+                "wal_torn_tail",
+                severity="warning",
+                path=dir,
+                torn_bytes=res.torn_bytes,
+                torn_records=res.torn_records,
+                torn_snapshots=res.torn_snapshots,
+                replayed=rt.replayed,
+            )
+        return rt

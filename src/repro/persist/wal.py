@@ -34,6 +34,7 @@ from typing import BinaryIO
 
 from repro.core.runtime import LocalRuntime
 from repro.core.statemachine import Command
+from repro.persist.segments import fsync_dir
 
 __all__ = ["WALRuntime"]
 
@@ -83,6 +84,8 @@ class WALRuntime(LocalRuntime):
         self.path = path
         self.fsync = fsync
         self.records_written = 0
+        self.torn_bytes = 0
+        self.torn_records = 0
         self._log: BinaryIO = open(path, "ab")
 
     # ------------------------------------------------------------------ #
@@ -144,15 +147,27 @@ class WALRuntime(LocalRuntime):
         rt.records_written = 0
         replayed = 0
         highest_rid = 0
+        torn_bytes = 0
+        torn_records = 0
         with open(path, "rb") as f:
             while True:
+                record_start = f.tell()
                 header = f.read(_LEN.size)
                 if len(header) < _LEN.size:
+                    if header:
+                        # torn header: crashed mid-write, discard the tail
+                        f.seek(0, os.SEEK_END)
+                        torn_bytes = f.tell() - record_start
+                        torn_records = 1
                     break
                 (length,) = _LEN.unpack(header)
                 blob = f.read(length)
                 if len(blob) < length:
-                    break  # torn final record: crashed mid-write, discard
+                    # torn final record: crashed mid-write, discard
+                    f.seek(0, os.SEEK_END)
+                    torn_bytes = f.tell() - record_start
+                    torn_records = 1
+                    break
                 command = pickle.loads(blob)
                 if isinstance(command, _SnapshotRecord):
                     # compaction head: restart replay from the snapshot
@@ -171,6 +186,19 @@ class WALRuntime(LocalRuntime):
         # recovery completions are dropped: their clients are gone
         rt._results.clear()
         rt.replayed = replayed
+        rt.torn_bytes = torn_bytes
+        rt.torn_records = torn_records
+        if torn_bytes:
+            from repro.obs.events import emit
+
+            emit(
+                "wal_torn_tail",
+                severity="warning",
+                path=path,
+                torn_bytes=torn_bytes,
+                torn_records=torn_records,
+                replayed=replayed,
+            )
         # resume request ids past the replayed history: the rebuilt state
         # machine remembers completed ids (duplicate suppression), so a
         # fresh command must never reuse one
@@ -189,13 +217,15 @@ class WALRuntime(LocalRuntime):
         state machine's snapshot as the new log head — replay of a
         compacted log starts from the snapshot instead of genesis.
         """
-        from repro.core.statemachine import TSStateMachine
-
         with self._lock:
             snapshot = self._logging_sm._inner.snapshot()
             old = self.records_written
-            self._log.close()
-            with open(self.path, "wb") as f:
+            # Write the replacement log beside the live one, force it to
+            # disk, then atomically swap it in: at no instant does the
+            # path name an empty or partial log, so a crash at any point
+            # leaves either the full old log or the full new one.
+            tmp = self.path + ".compact.tmp"
+            with open(tmp, "wb") as f:
                 blob = pickle.dumps(
                     _SnapshotRecord(snapshot), protocol=pickle.HIGHEST_PROTOCOL
                 )
@@ -203,8 +233,19 @@ class WALRuntime(LocalRuntime):
                 f.write(blob)
                 f.flush()
                 os.fsync(f.fileno())
+            self._log.close()
+            os.replace(tmp, self.path)
+            fsync_dir(self.path)
             self._log = open(self.path, "ab")
             self.records_written = 1
+            from repro.obs.events import emit
+
+            emit(
+                "wal_compacted",
+                path=self.path,
+                eliminated=max(old - 1, 0),
+                bytes=self._wal_bytes(),
+            )
             return max(old - 1, 0)
 
 

@@ -66,6 +66,7 @@ One object owns everything the paper's ordered-update pipeline needs
 from __future__ import annotations
 
 import itertools
+import pickle
 import threading
 import time
 from collections import deque
@@ -107,6 +108,11 @@ _CANCEL_GRACE_S = 30.0
 #: Sentinel answer deposited into a pending query's slot when its target
 #: replica crashes — fail fast instead of stalling the full query timeout.
 _REPLICA_CRASHED = object()
+
+#: Returned by the chunked-transfer round trip when the donor died (or
+#: lost its transfer cache) mid-stream: the fetch resumes from the next
+#: live donor instead of failing the whole recovery.
+_DONOR_LOST = object()
 
 
 class LivenessPolicy:
@@ -189,6 +195,10 @@ class ReplicaGroup:
         liveness: LivenessPolicy | bool | None = None,
         name: str = "",
         shard_info: tuple[int, int] | None = None,
+        durable_dir: str | None = None,
+        durable_fsync: bool = True,
+        journal_segment_bytes: int = 1 << 20,
+        transfer_chunk_bytes: int | None = 256 * 1024,
     ):
         self.transport = transport
         self.n_replicas = transport.n_replicas
@@ -300,6 +310,30 @@ class ReplicaGroup:
         self._monitor_stop = threading.Event()
         self._monitor_thread: threading.Thread | None = None
         self._stopped = False
+        #: Durable mode: the sequencer's ordered command stream journaled
+        #: through a segmented WAL (repro.persist.segments) under the
+        #: sequencer lock, so a full-group restart replays the stream and
+        #: recovers every replica to the last fsynced slot.
+        self.durable_dir = durable_dir
+        #: Chunk size for resumable, incarnation-fenced replica state
+        #: transfer; None falls back to the legacy one-shot SNAPSHOT item.
+        self.transfer_chunk_bytes = transfer_chunk_bytes
+        self._journal = None
+        self._journal_slot = 0
+        self._journal_replaying = False
+        self.journal_replayed = 0
+        #: Test/chaos hook, called after each fetched transfer chunk with
+        #: (donor, idx, total) — lets the chaos harness kill the donor
+        #: mid-transfer at a precise chunk boundary.
+        self._xfer_chunk_hook = None
+        self._c_xfer_chunks = self.metrics.counter("state_transfer_chunks")
+        if durable_dir is not None:
+            from repro.persist.segments import SegmentedLog
+
+            self._journal = SegmentedLog(
+                durable_dir, fsync=durable_fsync,
+                segment_bytes=journal_segment_bytes,
+            )
         transport.start(self._on_worker_item)
         self._kick = threading.Event()
         self._seq_thread: threading.Thread | None = None
@@ -320,6 +354,8 @@ class ReplicaGroup:
                 target=self._monitor_loop, name="liveness-monitor", daemon=True
             )
             self._monitor_thread.start()
+        if self._journal is not None:
+            self._recover_from_journal()
 
     # ------------------------------------------------------------------ #
     # sequencing (the bus)
@@ -711,6 +747,19 @@ class ReplicaGroup:
                 self._fallback_read(entry[2].request_id)
 
     def _broadcast_batch(self, batch: list[tuple[Command, _Waiter | None]]) -> None:
+        # Durable mode: journal the ordered stream BEFORE it reaches any
+        # replica.  _broadcast_batch only ever runs under _seq_lock, so
+        # journal order is exactly the total order, and a batch costs one
+        # fsync (append_many), not one per command.  Journal slot k holds
+        # the k-th sequenced command — the same coordinate as a replica's
+        # applied count, which is what lets compaction use a replica
+        # snapshot's `applied` as the covered-slot watermark.
+        if self._journal is not None and not self._journal_replaying:
+            base = self._journal_slot
+            self._journal.append_many(
+                (base + i + 1, cmd) for i, (cmd, _w) in enumerate(batch)
+            )
+            self._journal_slot = base + len(batch)
         now = time.monotonic()
         cmds = []
         for cmd, w in batch:
@@ -1090,6 +1139,16 @@ class ReplicaGroup:
         the total order* — the sequencer lock is held, so no command can
         slip between capture and readmission.  A ``HostRecovered`` command
         then deposits the recovery tuple, as on the simulated cluster.
+
+        With ``transfer_chunk_bytes`` set (the default) the snapshot
+        travels as bounded chunks instead of one item, and the fetch is
+        *resumable*: a donor dying mid-transfer is noticed within a probe
+        interval and the remaining chunks come from the next live donor
+        (donors frozen at the same slot produce identical snapshot bytes,
+        so already-fetched chunks stay valid; a byte-level mismatch is
+        detected by the transfer descriptor and restarts the fetch).
+        Donors lost mid-transfer are declared dead only *after* the
+        sequencer lock is released — _declare_dead retakes it.
         """
         if self.alive[replica_id]:
             return
@@ -1097,23 +1156,53 @@ class ReplicaGroup:
             raise TimeoutError_(
                 f"{type(self.transport).__name__} does not support replica restart"
             )
+        dead_donors: list[int] = []
+        try:
+            self._recover_replica_locked(replica_id, timeout, dead_donors)
+        finally:
+            for d in dead_donors:
+                self._declare_dead(d, notify=True, cause="transfer_donor")
+
+    def _recover_replica_locked(
+        self, replica_id: int, timeout: float, dead_donors: list[int]
+    ) -> None:
         with self._seq_lock:  # freeze the order: nothing sequenced past us
             self._flush_pending_locked()
-            donor = next(iter(self.live_replicas()), None)
-            if donor is None:
-                raise TimeoutError_("no live replica to transfer state from")
-            qid, event, slot = self._register_query(donor)
-            self.transport.send(donor, ("SNAPSHOT", qid))
-            if not event.wait(timeout):
-                with self._state_lock:
-                    self._queries.pop((qid, donor), None)
-                raise TimeoutError_("donor replica did not produce a snapshot")
-            snapshot, applied = slot[0]
+            chunks: list[bytes] | None = None
+            snapshot = None
+            if self.transfer_chunk_bytes:
+                chunks, applied = self._fetch_snapshot_chunked(
+                    timeout, dead_donors
+                )
+            else:
+                donor = next(
+                    (i for i in self.live_replicas() if i not in dead_donors),
+                    None,
+                )
+                if donor is None:
+                    raise TimeoutError_("no live replica to transfer state from")
+                qid, event, slot = self._register_query(donor)
+                self.transport.send(donor, ("SNAPSHOT", qid))
+                if not event.wait(timeout):
+                    with self._state_lock:
+                        self._queries.pop((qid, donor), None)
+                    raise TimeoutError_("donor replica did not produce a snapshot")
+                snapshot, applied = slot[0]
             self.transport.restart_replica(replica_id)
             qid2, event2, slot2 = self._register_query(replica_id)
-            self.transport.send(
-                replica_id, ("INSTALL", qid2, snapshot, applied)
-            )
+            if chunks is not None:
+                total = len(chunks)
+                for idx, chunk in enumerate(chunks):
+                    self.transport.send(
+                        replica_id, ("INSTALL_CHUNK", qid2, idx, total, chunk)
+                    )
+                self.transport.send(
+                    replica_id, ("INSTALL_DONE", qid2, qid2, total)
+                )
+            else:
+                self.transport.send(
+                    replica_id, ("INSTALL", qid2, snapshot, applied)
+                )
             self.alive[replica_id] = True
             # a rejoining replica starts with a clean liveness slate —
             # without this the monitor would re-suspect it instantly
@@ -1139,6 +1228,10 @@ class ReplicaGroup:
             with self._state_lock:
                 self._queries.pop((qid2, replica_id), None)
             raise TimeoutError_("recovered replica did not confirm install")
+        if slot2[0] != "installed":
+            raise TimeoutError_(
+                f"recovered replica rejected the transferred state: {slot2[0]!r}"
+            )
         if self.tracer is not None:
             self.tracer.record_span(
                 time.monotonic(),
@@ -1151,6 +1244,253 @@ class ReplicaGroup:
             "replica_recovered",
             group=self.name or "group", replica=replica_id, applied=applied,
         )
+
+    # ------------------------------------------------------------------ #
+    # chunked state transfer (donor side driver)
+    # ------------------------------------------------------------------ #
+
+    def _xfer_query(self, donor: int, item_fn, timeout: float) -> Any:
+        """One transfer round trip to *donor* while holding ``_seq_lock``.
+
+        Waits with a short poll so a donor dying mid-transfer is noticed
+        via ``transport.probe`` within ~20ms instead of stalling out the
+        full timeout — crucially WITHOUT calling ``_declare_dead``, which
+        retakes the sequencer lock this thread already holds (the caller
+        defers the declaration until after release).  Returns the answer,
+        or :data:`_DONOR_LOST`.
+        """
+        qid, event, slot = self._register_query(donor)
+        try:
+            self.transport.send(donor, item_fn(qid))
+        except Exception:  # noqa: BLE001 - a dying queue is itself the signal
+            with self._state_lock:
+                self._queries.pop((qid, donor), None)
+            return _DONOR_LOST
+        deadline = time.monotonic() + timeout
+        while not event.wait(0.02):
+            if not self.transport.probe(donor):
+                with self._state_lock:
+                    self._queries.pop((qid, donor), None)
+                return _DONOR_LOST
+            if time.monotonic() >= deadline:
+                with self._state_lock:
+                    self._queries.pop((qid, donor), None)
+                raise TimeoutError_(
+                    f"donor {donor} did not answer state transfer"
+                )
+        if slot[0] is _REPLICA_CRASHED:
+            return _DONOR_LOST
+        return slot[0]
+
+    def _fetch_snapshot_chunked(
+        self, timeout: float, dead_donors: list[int]
+    ) -> tuple[list[bytes], int]:
+        """Fetch a donor snapshot as bounded chunks.  Caller holds ``_seq_lock``.
+
+        Resumable across donor death: every live donor is frozen at the
+        same slot (the lock is held, pending flushed, and XFER_BEGIN is
+        in-band), so converged donors serialize to identical bytes and a
+        second donor can serve the chunks the first never delivered.  The
+        transfer descriptor ``(n_chunks, n_bytes, applied)`` guards the
+        resumption — any mismatch restarts accumulation from chunk 0.
+        Donors that die mid-transfer are appended to *dead_donors* for
+        the caller to declare dead after the lock is released.
+        """
+        assert self.transfer_chunk_bytes
+        chunks: list[bytes] = []
+        meta: tuple[int, int, int] | None = None
+        tried: set[int] = set()
+        while True:
+            donor = next(
+                (
+                    i
+                    for i in self.live_replicas()
+                    if i not in tried and i not in dead_donors
+                ),
+                None,
+            )
+            if donor is None:
+                raise TimeoutError_("no live replica to transfer state from")
+            begin = self._xfer_query(
+                donor,
+                lambda qid: ("XFER_BEGIN", qid, self.transfer_chunk_bytes),
+                timeout,
+            )
+            if begin is _DONOR_LOST:
+                dead_donors.append(donor)
+                continue
+            _tag, xid, total, total_bytes, applied = begin
+            if meta != (total, total_bytes, applied):
+                chunks.clear()
+                meta = (total, total_bytes, applied)
+            lost = False
+            while len(chunks) < total:
+                idx = len(chunks)
+                chunk = self._xfer_query(
+                    donor, lambda qid: ("XFER_CHUNK", qid, xid, idx), timeout
+                )
+                if chunk is _DONOR_LOST:
+                    dead_donors.append(donor)
+                    lost = True
+                    break
+                if chunk is None:
+                    # alive but forgot the transfer (restarted in between):
+                    # renegotiate with the next donor, keeping what we have
+                    tried.add(donor)
+                    lost = True
+                    break
+                chunks.append(chunk)
+                self._c_xfer_chunks.inc()
+                emit_event(
+                    "state_transfer_chunk",
+                    group=self.name or "group",
+                    donor=donor,
+                    chunk=idx,
+                    total=total,
+                    bytes=len(chunk),
+                )
+                hook = self._xfer_chunk_hook
+                if hook is not None:
+                    hook(donor, idx, total)
+            if lost:
+                continue
+            self.transport.send(donor, ("XFER_END", xid))
+            return chunks, applied
+
+    # ------------------------------------------------------------------ #
+    # the durable journal (sequencer-stream WAL)
+    # ------------------------------------------------------------------ #
+
+    def _recover_from_journal(self) -> None:
+        """Replay the durable journal into the (fresh) replicas.
+
+        Runs once, at construction, before any client can submit: the
+        newest readable snapshot is installed on every replica, then the
+        delta records re-broadcast through the normal batch path with
+        journaling suppressed (they are already on disk).  Completions
+        from replayed commands find no waiter and are dropped — their
+        clients died with the previous incarnation, exactly the WAL
+        recovery semantics.  Request ids fast-forward past everything
+        replayed so a fresh command can never collide with a memoized
+        completion.
+        """
+        from repro.persist.segments import replay_dir
+
+        res = replay_dir(self.durable_dir)
+        if res.snapshot is None and not res.records:
+            return
+        t0 = time.monotonic()
+        highest_rid = 0
+        self._journal_replaying = True
+        try:
+            with self._seq_lock:
+                if res.snapshot is not None:
+                    waits = []
+                    for i in self.live_replicas():
+                        qid, event, _slot = self._register_query(i)
+                        self.transport.send(
+                            i, ("INSTALL", qid, res.snapshot, res.snapshot_slot)
+                        )
+                        waits.append((i, qid, event))
+                    for i, qid, event in waits:
+                        if not event.wait(30.0):
+                            with self._state_lock:
+                                self._queries.pop((qid, i), None)
+                            raise RuntimeFailure(
+                                f"replica {i} did not confirm journal "
+                                "snapshot install"
+                            )
+                    self._journal_slot = res.snapshot_slot
+                    with self._pending_lock:
+                        # replicas resume at applied == snapshot_slot, so
+                        # read floors must count from there too
+                        self._sequenced = res.snapshot_slot
+                    for rid, _result in res.snapshot.get("completed", []):
+                        highest_rid = max(highest_rid, rid)
+                    for b in res.snapshot.get("blocked", []):
+                        highest_rid = max(highest_rid, b[0])
+                if res.records:
+                    with self._pending_lock:
+                        self._sequenced += len(res.records)
+                    self._broadcast_batch(
+                        [(cmd, None) for _slot, cmd in res.records]
+                    )
+                    self._journal_slot = res.records[-1][0]
+                    for _slot, cmd in res.records:
+                        highest_rid = max(
+                            highest_rid, getattr(cmd, "request_id", 0)
+                        )
+        finally:
+            self._journal_replaying = False
+        self._req_ids = itertools.count(highest_rid + 1)
+        self.journal_replayed = len(res.records) + (
+            1 if res.snapshot is not None else 0
+        )
+        emit_event(
+            "journal_recovered",
+            group=self.name or "group",
+            dir=self.durable_dir,
+            snapshot_slot=res.snapshot_slot,
+            records=len(res.records),
+            torn_records=res.torn_records,
+            torn_snapshots=res.torn_snapshots,
+            seconds=round(time.monotonic() - t0, 4),
+        )
+
+    def compact_journal(self, *, timeout: float = 30.0) -> int | None:
+        """Snapshot a live replica and prune the journal prefix it covers.
+
+        The snapshot travels the in-band query lane after a pending
+        flush, so it reflects exactly the journaled prefix — its
+        ``applied`` count IS the covered journal slot.  The disk work
+        (snapshot temp+rename, manifest, prune) runs outside the
+        sequencer lock; pruning only ever touches closed segments, so it
+        cannot race the sequencer's appends to the active one.
+        """
+        if self._journal is None:
+            return None
+        donor = next(iter(self.live_replicas()), None)
+        if donor is None:
+            raise TimeoutError_("no live replica to snapshot the journal from")
+        qid, event, slot = self._register_query(donor)
+        with self._seq_lock:
+            self._flush_pending_locked()
+            self.transport.send(donor, ("SNAPSHOT", qid))
+        if not event.wait(timeout):
+            with self._state_lock:
+                self._queries.pop((qid, donor), None)
+            raise TimeoutError_("donor replica did not produce a journal snapshot")
+        if slot[0] is _REPLICA_CRASHED:
+            raise TimeoutError_("donor crashed during journal compaction")
+        snapshot, applied = slot[0]
+        emit_event(
+            "snapshot_started", group=self.name or "group", slot=applied
+        )
+        blob = pickle.dumps(snapshot, protocol=pickle.HIGHEST_PROTOCOL)
+        self._journal.write_snapshot(applied, blob)
+        self._journal.write_manifest(applied)
+        removed = self._journal.prune(applied)
+        emit_event(
+            "snapshot_finished",
+            group=self.name or "group", slot=applied, bytes=len(blob),
+        )
+        emit_event(
+            "wal_compacted",
+            group=self.name or "group",
+            covered_slot=applied,
+            removed=len(removed),
+            bytes=self._journal.status()["total_bytes"],
+        )
+        return applied
+
+    def journal_status(self) -> dict[str, Any] | None:
+        """Journal directory status for the ``cli wal`` subcommand."""
+        if self._journal is None:
+            return None
+        st = self._journal.status()
+        st["journal_slot"] = self._journal_slot
+        st["replayed"] = self.journal_replayed
+        return st
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -1335,3 +1675,5 @@ class ReplicaGroup:
             self._read_kick.set()
             self._read_thread.join(timeout=5.0)
         self.transport.shutdown(self.alive)
+        if self._journal is not None:
+            self._journal.close()

@@ -60,6 +60,7 @@ group — byte-for-byte the pre-sharding behaviour.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Any, Callable
@@ -110,6 +111,8 @@ class ShardedGroup:
         read_fastpath: bool = True,
         tracer: FlightRecorder | None = None,
         liveness: LivenessPolicy | bool | None = None,
+        durable_dir: str | None = None,
+        durable_fsync: bool = True,
     ):
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -117,6 +120,11 @@ class ShardedGroup:
         self.tracer = tracer
         self.groups: list[ReplicaGroup] = []
         for k in range(n_shards):
+            # each shard journals its own ordered stream: shards are
+            # independently sequenced, so they recover independently too
+            shard_dir = durable_dir
+            if durable_dir is not None and n_shards > 1:
+                shard_dir = os.path.join(durable_dir, f"shard{k}")
             self.groups.append(
                 ReplicaGroup(
                     transport_factory(),
@@ -126,6 +134,8 @@ class ShardedGroup:
                     liveness=liveness,
                     name=f"shard{k}" if n_shards > 1 else "",
                     shard_info=(k, n_shards) if n_shards > 1 else None,
+                    durable_dir=shard_dir,
+                    durable_fsync=durable_fsync,
                 )
             )
         self.n_replicas = self.groups[0].n_replicas
@@ -420,6 +430,24 @@ class ShardedGroup:
         return [
             all(g.alive[i] for g in self.groups) for i in range(self.n_replicas)
         ]
+
+    # ------------------------------------------------------------------ #
+    # durability (fanned out: every shard compacts/reports its journal)
+    # ------------------------------------------------------------------ #
+
+    def compact_journal(self, *, timeout: float = 30.0) -> list[int | None]:
+        """Compact every shard's journal; per-shard covered slots."""
+        return [g.compact_journal(timeout=timeout) for g in self.groups]
+
+    def journal_status(self) -> list[dict[str, Any]]:
+        """Per-shard journal status (empty when not durable)."""
+        statuses = []
+        for g in self.groups:
+            st = g.journal_status()
+            if st is not None:
+                st["shard"] = g.name or "group"
+                statuses.append(st)
+        return statuses
 
     # ------------------------------------------------------------------ #
     # inspection

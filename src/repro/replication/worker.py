@@ -35,6 +35,24 @@ received                              meaning
                                       write lane's batch amortization
 ``("SNAPSHOT", qid)``                 emit a state-transfer snapshot
 ``("INSTALL", qid, snap, applied)``   replace state with a snapshot
+``("XFER_BEGIN", qid, chunk_bytes)``  chunked state transfer, donor side:
+                                      pickle ``(snapshot, applied)`` once,
+                                      cache it split into *chunk_bytes*
+                                      pieces keyed by this qid (the
+                                      transfer id), answer the descriptor
+                                      ``("xfer", xid, n_chunks, n_bytes,
+                                      applied)``
+``("XFER_CHUNK", qid, xid, idx)``     answer one cached chunk (or None if
+                                      the transfer id is unknown — the
+                                      group treats that as a lost donor)
+``("XFER_END", xid)``                 drop the cached transfer
+``("INSTALL_CHUNK", xid, idx, n,      chunked install, receiver side:
+  chunk)``                            buffer chunk *idx* of *n*
+``("INSTALL_DONE", qid, xid, n)``     reassemble the buffered chunks,
+                                      install the decoded snapshot,
+                                      answer ``"installed"`` (or
+                                      ``("incomplete", missing)`` if any
+                                      chunk never arrived)
 ``("PING",)``                         liveness probe; answer immediately
                                       with ``("PONG", applied)`` — an
                                       in-band heartbeat, so a wedged or
@@ -140,6 +158,10 @@ def replica_loop(
     # everything sequenced before it submitted (read-your-writes), while
     # the read itself never enters the total order.
     pending_reads: list[tuple[int, Any]] = []
+    # Chunked state transfer: as donor, pickled snapshots split and cached
+    # per transfer id; as receiver, chunks buffered until INSTALL_DONE.
+    xfer_out: dict[int, list[bytes]] = {}
+    xfer_in: dict[int, dict[int, bytes]] = {}
 
     def serve_reads(reads: list[tuple[int, Any]]) -> None:
         comps: list[tuple[int, Any]] = []
@@ -254,6 +276,48 @@ def replica_loop(
             applied = count
             emit(("QUERY", qid, replica_id, "installed"))
             drain_reads()
+        elif kind == "XFER_BEGIN":
+            _k, qid, chunk_bytes = item
+            blob = pickle.dumps(
+                (sm.snapshot(), applied), protocol=pickle.HIGHEST_PROTOCOL
+            )
+            n = max(1, int(chunk_bytes))
+            chunks = [blob[i : i + n] for i in range(0, len(blob), n)] or [b""]
+            xfer_out[qid] = chunks
+            emit(
+                ("QUERY", qid, replica_id,
+                 ("xfer", qid, len(chunks), len(blob), applied))
+            )
+        elif kind == "XFER_CHUNK":
+            _k, qid, xid, idx = item
+            chunks = xfer_out.get(xid)
+            answer = (
+                chunks[idx]
+                if chunks is not None and 0 <= idx < len(chunks)
+                else None
+            )
+            emit(("QUERY", qid, replica_id, answer))
+        elif kind == "XFER_END":
+            xfer_out.pop(item[1], None)
+        elif kind == "INSTALL_CHUNK":
+            _k, xid, idx, _total, chunk = item
+            xfer_in.setdefault(xid, {})[idx] = chunk
+        elif kind == "INSTALL_DONE":
+            _k, qid, xid, total = item
+            got = xfer_in.pop(xid, {})
+            missing = [i for i in range(total) if i not in got]
+            if missing:
+                # chunks lost (e.g. this replica restarted mid-install):
+                # refuse rather than install a torn snapshot
+                emit(("QUERY", qid, replica_id, ("incomplete", missing)))
+            else:
+                snapshot, count = pickle.loads(
+                    b"".join(got[i] for i in range(total))
+                )
+                sm = TSStateMachine.from_snapshot(snapshot)
+                applied = count
+                emit(("QUERY", qid, replica_id, "installed"))
+                drain_reads()
 
 
 def run_replica_process(replica_id: int, cmd_q: Any, result_q: Any) -> None:
